@@ -1,0 +1,95 @@
+"""Figure 6: lineage tracing runtime and space overhead (mini-batch).
+
+The paper's micro benchmark: one epoch over an ``N x 784`` matrix with 40
+binary operations per iteration (ten times ``X = ((X+X)*i - X)/(i+1)``),
+for varying batch sizes.
+
+* Fig. 6(a): execution time of Base vs LT (tracing), LTP (tracing +
+  probing with an empty cache), LTD (tracing + deduplication).  Expected
+  shape: substantial overhead for tiny batches (b=2, 8), moderate from
+  b=32, negligible for LTD from b=8.
+* Fig. 6(b): lineage-DAG space; LT grows linearly in #iterations (~63 B
+  per item in the paper), LTD compresses by >30x.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+from benchmarks.conftest import bench_cold
+
+#: 2M rows in the paper; scaled 100x down
+ROWS = 20_000
+COLS = 784
+
+_STEP = "  Xb = ((Xb + Xb) * k - Xb) / (k + 1);\n"
+
+# the 10 repetitions are unrolled so the batch loop is a last-level loop
+# and thus dedup-eligible (40 binary ops per iteration, as in the paper)
+SCRIPT = ("""
+iters = as.integer(floor(nrow(X) / b));
+s = 0;
+for (k in 1:iters) {
+  beg = (k - 1) * b + 1;
+  fin = k * b;
+  Xb = X[beg:fin, ];
+""" + _STEP * 10 + """
+  s = s + as.scalar(Xb[1, 1]);
+}
+""")
+
+_CONFIGS = {
+    "Base": LimaConfig.base,
+    "LT": LimaConfig.lt,
+    "LTP": LimaConfig.ltp,
+    "LTD": LimaConfig.ltd,
+}
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return np.random.default_rng(0).standard_normal((ROWS, COLS))
+
+
+@pytest.mark.parametrize("batch", [8, 32, 128, 512, 2048])
+@pytest.mark.parametrize("config", list(_CONFIGS))
+def test_fig6a_tracing_overhead(benchmark, matrix, batch, config):
+    benchmark.group = f"fig6a batch={batch}"
+    benchmark.extra_info["figure"] = "6a"
+    bench_cold(benchmark, _CONFIGS[config], SCRIPT,
+               {"X": matrix, "b": batch})
+
+
+@pytest.mark.parametrize("batch", [8, 32, 128, 512])
+@pytest.mark.parametrize("config", ["LT", "LTD"])
+def test_fig6b_space_overhead(benchmark, batch, config):
+    """Lineage size in items/bytes for one epoch (reduced rows)."""
+    rows = 2_000  # the paper reduces rows for the space measurement too
+    x = np.random.default_rng(0).standard_normal((rows, COLS))
+    benchmark.group = f"fig6b batch={batch}"
+    benchmark.extra_info["figure"] = "6b"
+
+    sizes = {}
+
+    def once():
+        sess = LimaSession(_CONFIGS[config]())
+        result = sess.run(SCRIPT, inputs={"X": x, "b": batch}, seed=7)
+        sizes["nodes"] = result._ctx.lineage.total_nodes()
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    # ~64 B per lineage item, as assumed in the paper's estimate
+    benchmark.extra_info["lineage_items"] = sizes["nodes"]
+    benchmark.extra_info["approx_bytes"] = sizes["nodes"] * 64
+
+
+def test_fig6b_dedup_compression_ratio():
+    """LTD shrinks the traced lineage by an order of magnitude (no timing,
+    asserted so the figure's headline claim is checked in CI)."""
+    rows, batch = 2_000, 8
+    x = np.random.default_rng(0).standard_normal((rows, COLS))
+    nodes = {}
+    for name in ("LT", "LTD"):
+        sess = LimaSession(_CONFIGS[name]())
+        result = sess.run(SCRIPT, inputs={"X": x, "b": batch}, seed=7)
+        nodes[name] = result._ctx.lineage.total_nodes()
+    assert nodes["LTD"] * 5 < nodes["LT"], nodes

@@ -1,0 +1,118 @@
+"""Figure 7: partial reuse and multi-level reuse micro benchmarks.
+
+* Fig. 7(a) — partial reuse, the stepLm-inspired micro: ``t(X) %*% X``
+  once, then a loop of ``Z = cbind(X, Y[,i]); t(Z) %*% Z``.  LIMA applies
+  the ``dsyrk(cbind(X, dX))`` rewrite at runtime (paper: 4.2x); LIMA-CA
+  applies it during compilation and also eliminates the cbind
+  materialization (paper: 41x).
+* Fig. 7(b) — multi-level reuse: repeated hyper-parameter optimization of
+  iterative multi-class logistic regression.  LIMA-FR reuses operation by
+  operation; LIMA-MLR short-circuits whole function calls (paper: 5.2x
+  and 24.6x; MLR 4.6x over FR).
+"""
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+from benchmarks.conftest import bench_cold
+
+# ---------------------------------------------------------------------------
+# Fig 7(a): partial reuse  (paper: 100K x 500 X, 1K iterations)
+# ---------------------------------------------------------------------------
+
+PARTIAL_SCRIPT = """
+XtX = t(X) %*% X;
+s = 0;
+for (i in 1:50) {
+  Z = cbind(X, Y[, i]);
+  ZtZ = t(Z) %*% Z;
+  s = s + sum(ZtZ);
+}
+"""
+
+_PARTIAL_CONFIGS = {
+    "Base": LimaConfig.base,
+    "LIMA": LimaConfig.hybrid,
+    "LIMA-CA": LimaConfig.ca,
+}
+
+
+@pytest.fixture(scope="module")
+def partial_data():
+    rng = np.random.default_rng(2)
+    return {
+        rows: {"X": rng.standard_normal((rows, 300)),
+               "Y": rng.standard_normal((rows, 50))}
+        for rows in (5_000, 10_000, 20_000)
+    }
+
+
+@pytest.mark.parametrize("rows", [5_000, 10_000, 20_000])
+@pytest.mark.parametrize("config", list(_PARTIAL_CONFIGS))
+def test_fig7a_partial_reuse(benchmark, partial_data, rows, config):
+    benchmark.group = f"fig7a rows={rows}"
+    benchmark.extra_info["figure"] = "7a"
+    bench_cold(benchmark, _PARTIAL_CONFIGS[config], PARTIAL_SCRIPT,
+               partial_data[rows])
+
+
+def test_fig7a_results_equal(partial_data):
+    """The three configurations agree numerically."""
+    values = {}
+    for name, factory in _PARTIAL_CONFIGS.items():
+        sess = LimaSession(factory(), seed=7)
+        values[name] = sess.run(PARTIAL_SCRIPT,
+                                inputs=partial_data[5_000],
+                                seed=7).get("s")
+    base = values["Base"]
+    for name, value in values.items():
+        np.testing.assert_allclose(value, base, rtol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Fig 7(b): multi-level reuse  (paper: 50K x 1K, 6 classes, 40 lambdas,
+# 20 repeats)
+# ---------------------------------------------------------------------------
+
+MLR_SCRIPT = """
+for (rep in 1:repeats) {
+  for (j in 1:nrow(lambdas)) {
+    B = multiLogReg(X, Y, 0, as.scalar(lambdas[j, 1]), 0.000001, 10);
+    acc = sum(B);
+  }
+}
+"""
+
+_ML_CONFIGS = {
+    "Base": LimaConfig.base,
+    "LIMA-FR": LimaConfig.full,
+    "LIMA-MLR": LimaConfig.multilevel,
+}
+
+
+@pytest.fixture(scope="module")
+def mlr_data(cls_data):
+    data = cls_data(5_000, 100, classes=6)
+    lambdas = np.logspace(-4, 0, 8).reshape(-1, 1)
+    return {"X": data.X, "Y": data.y, "lambdas": lambdas}
+
+
+@pytest.mark.parametrize("repeats", [1, 3, 5])
+@pytest.mark.parametrize("config", list(_ML_CONFIGS))
+def test_fig7b_multilevel_reuse(benchmark, mlr_data, repeats, config):
+    benchmark.group = f"fig7b repeats={repeats}"
+    benchmark.extra_info["figure"] = "7b"
+    bench_cold(benchmark, _ML_CONFIGS[config], MLR_SCRIPT,
+               {**mlr_data, "repeats": repeats})
+
+
+def test_fig7b_mlr_avoids_interpretation(mlr_data):
+    """MLR probes far less than FR on repeated sweeps (the 4.6x driver)."""
+    inputs = {**mlr_data, "repeats": 3}
+    fr = LimaSession(LimaConfig.full(), seed=7)
+    fr.run(MLR_SCRIPT, inputs=inputs, seed=7)
+    mlr = LimaSession(LimaConfig.multilevel(), seed=7)
+    mlr.run(MLR_SCRIPT, inputs=inputs, seed=7)
+    assert mlr.stats.probes < fr.stats.probes / 2
+    assert mlr.stats.multilevel_hits >= 16  # 8 lambdas x 2 repeated sweeps

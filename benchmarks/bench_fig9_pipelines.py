@@ -1,0 +1,277 @@
+"""Figure 9 (+ Tables 2, 3): end-to-end ML pipeline performance.
+
+Pipelines and hyper-parameter spaces follow Table 2, scaled to laptop
+sizes (paper: 100K-1M rows on a 32-vcore node):
+
+* HL2SVM — grid search over L2SVM (lambda x icpt); ~2x in the paper from
+  reusable ``cbind(X, 1)``, initial loss/gradient,
+* HLM — grid search over lm (reg x icpt x tol); 2.6x (parfor) to 12.4x
+  (sequential) in the paper — ``tol`` is irrelevant on the lmDS path and
+  ``t(X)X`` / ``t(X)y`` are lambda-invariant,
+* HCV — cross-validated lm over lambda; 4x-5.1x via per-fold reuse,
+* ENS — a weighted ensemble of 3 MSVM + 3 MLogReg models with random
+  search over ensemble weights; 4.2x via reused ``X %*% B``,
+* PCALM — PCA for varying K + lm + scoring; up to 5x via reused
+  covariance/eigen and overlapping projections,
+* Fig. 9(f) — the same pipelines on KDD98-like and APS-like surrogate
+  datasets confirm that the speedups are data-skew invariant.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+from repro.data import generators as G
+from benchmarks.conftest import bench_cold
+
+# end-to-end "LIMA" is the full system including compiler
+# assistance (unmarking + reuse-aware rewrites, Section 4.4)
+_CONFIGS = {"Base": LimaConfig.base, "LIMA": LimaConfig.ca}
+
+# ---------------------------------------------------------------------------
+# pipeline scripts
+# ---------------------------------------------------------------------------
+
+HL2SVM = """
+[B, opt] = gridSearch(X, y, "l2svm", "l2norm", list("reg", "icpt"),
+                      list(regs, icpts), ncol(X) + 1, FALSE);
+"""
+
+HLM = """
+[B, opt] = gridSearch(X, y, "lm", "l2norm", list("reg", "icpt", "tol"),
+                      list(regs, icpts, tols), ncol(X) + 1, {par});
+"""
+
+HCV = """
+bestLoss = 999999999999;
+{loop} (j in 1:nrow(regs)) {{
+  loss = {cv}(X, y, 8, 0, as.scalar(regs[j, 1]));
+  bestLoss = min(bestLoss, loss);
+}}
+"""
+
+ENS = """
+W1 = msvm(X, y, 0, 0.1, 0.001, mi);
+W2 = msvm(X, y, 0, 1.0, 0.001, mi);
+W3 = msvm(X, y, 0, 10.0, 0.001, mi);
+B1 = multiLogReg(X, y, 0, 0.0001, 0.000001, mi);
+B2 = multiLogReg(X, y, 0, 0.001, 0.000001, mi);
+B3 = multiLogReg(X, y, 0, 0.01, 0.000001, mi);
+bestAcc = -1;
+for (w in 1:nrow(Wts)) {
+  P = as.scalar(Wts[w, 1]) * (Xt %*% W1)
+    + as.scalar(Wts[w, 2]) * (Xt %*% W2)
+    + as.scalar(Wts[w, 3]) * (Xt %*% W3)
+    + as.scalar(Wts[w, 4]) * (Xt %*% B1)
+    + as.scalar(Wts[w, 5]) * (Xt %*% B2)
+    + as.scalar(Wts[w, 6]) * (Xt %*% B3);
+  pred = rowIndexMax(P);
+  acc = mean(pred == yt);
+  bestAcc = max(bestAcc, acc);
+}
+"""
+
+PCALM = """
+bestR2 = -999999;
+for (K in ks) {
+  [R, evects] = pca(A, K);
+  B = lm(R, y, 0, 0.0001, 0.0000001, 0, FALSE);
+  yhat = lmPredict(R, B);
+  r2 = r2score(y, yhat);
+  adj = 1 - (1 - r2) * (nrow(A) - 1) / (nrow(A) - K - 1);
+  bestR2 = max(bestR2, adj);
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# inputs
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def hl2svm_inputs(cls_data):
+    # large enough that the lambda-invariant initialization (t(X)%*%y,
+    # cbind(X,1)) dominates the per-config cost, as in the paper's
+    # 100K x 1K setting
+    data = G.binary_pm1(16_000, 300, seed=3)
+    return {"X": data.X, "y": data.y,
+            "regs": np.logspace(-3, 1, 10).reshape(-1, 1),
+            "icpts": np.array([[0.0], [1.0]])}
+
+
+def hlm_inputs(rows):
+    data = G.regression(rows, 100, seed=3)
+    return {"X": data.X, "y": data.y,
+            "regs": np.logspace(-5, 0, 4).reshape(-1, 1),
+            "icpts": np.array([[0.0], [1.0], [2.0]]),
+            "tols": np.logspace(-12, -8, 3).reshape(-1, 1)}
+
+
+def hcv_inputs(rows):
+    data = G.regression(rows, 80, seed=3)
+    return {"X": data.X, "y": data.y,
+            "regs": np.logspace(-5, 0, 6).reshape(-1, 1)}
+
+
+@pytest.fixture(scope="module")
+def ens_inputs():
+    # the reuse target is Xt %*% W inside the weight search, so the test
+    # matrix is sized to make those multiplies the dominant cost
+    train = G.classification(4_000, 200, n_classes=10, separation=2.0,
+                             seed=3)
+    test = G.classification(8_000, 200, n_classes=10, separation=2.0,
+                            seed=4)
+    rng = np.random.default_rng(5)
+    weights = rng.random((100, 6))
+    return {"X": train.X, "y": train.y, "Xt": test.X, "yt": test.y,
+            "Wts": weights, "mi": 3}
+
+
+def pcalm_inputs(rows):
+    data = G.regression(rows, 60, noise=0.5, seed=3)
+    ks = np.arange(6, 31, 4, dtype=float).reshape(-1, 1)
+    return {"A": data.X, "y": data.y, "ks": ks}
+
+
+# ---------------------------------------------------------------------------
+# Fig 9(a): HL2SVM
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("config", list(_CONFIGS))
+def test_fig9a_hl2svm(benchmark, hl2svm_inputs, config):
+    benchmark.group = "fig9a HL2SVM"
+    benchmark.extra_info["figure"] = "9a"
+    bench_cold(benchmark, _CONFIGS[config], HL2SVM, hl2svm_inputs)
+
+
+# ---------------------------------------------------------------------------
+# Fig 9(b): HLM with and without task parallelism
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("rows", [2_000, 10_000])
+@pytest.mark.parametrize("config", list(_CONFIGS))
+@pytest.mark.parametrize("par", ["FALSE", "TRUE"])
+def test_fig9b_hlm(benchmark, rows, config, par):
+    tag = "-P" if par == "TRUE" else ""
+    benchmark.group = f"fig9b HLM rows={rows}{tag}"
+    benchmark.extra_info["figure"] = "9b"
+    bench_cold(benchmark, _CONFIGS[config], HLM.format(par=par),
+               hlm_inputs(rows))
+
+
+# ---------------------------------------------------------------------------
+# Fig 9(c): HCV with and without task parallelism
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("rows", [4_000, 12_000])
+@pytest.mark.parametrize("config", list(_CONFIGS))
+@pytest.mark.parametrize("par", [False, True])
+def test_fig9c_hcv(benchmark, rows, config, par):
+    script = HCV.format(loop="parfor" if par else "for",
+                        cv="cvlmPar" if par else "cvlm")
+    tag = "-P" if par else ""
+    benchmark.group = f"fig9c HCV rows={rows}{tag}"
+    benchmark.extra_info["figure"] = "9c"
+    bench_cold(benchmark, _CONFIGS[config], script, hcv_inputs(rows))
+
+
+# ---------------------------------------------------------------------------
+# Fig 9(d): ENS
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("config", list(_CONFIGS))
+def test_fig9d_ens(benchmark, ens_inputs, config):
+    benchmark.group = "fig9d ENS"
+    benchmark.extra_info["figure"] = "9d"
+    bench_cold(benchmark, _CONFIGS[config], ENS, ens_inputs)
+
+
+# ---------------------------------------------------------------------------
+# Fig 9(e): PCALM
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("rows", [5_000, 20_000])
+@pytest.mark.parametrize("config", list(_CONFIGS))
+def test_fig9e_pcalm(benchmark, rows, config):
+    benchmark.group = f"fig9e PCALM rows={rows}"
+    benchmark.extra_info["figure"] = "9e"
+    bench_cold(benchmark, _CONFIGS[config], PCALM, pcalm_inputs(rows))
+
+
+# ---------------------------------------------------------------------------
+# Fig 9(f): synthetic vs real-surrogate datasets (Table 3)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def kdd98():
+    ds = G.kdd98_like(n_rows=6_000, n_raw=24, seed=3)
+    print(f"\n[Table 3] {ds.description}")
+    return ds
+
+
+@pytest.fixture(scope="module")
+def aps():
+    ds = G.aps_like(n_rows=12_000, n_cols=170, seed=3)
+    X = G.impute_mean(ds.X)
+    X, y = G.oversample_minority(X, ds.y, 14_000, seed=3)
+    print(f"\n[Table 3] {ds.description} -> "
+          f"{X.shape[0]}x{X.shape[1]} after impute+oversample")
+    return X, y
+
+
+@pytest.mark.parametrize("config", list(_CONFIGS))
+def test_fig9f_hlm_kdd98(benchmark, kdd98, config):
+    benchmark.group = "fig9f HLM on KDD98-like"
+    benchmark.extra_info["figure"] = "9f"
+    inputs = {"X": kdd98.X, "y": kdd98.y,
+              "regs": np.logspace(-5, 0, 4).reshape(-1, 1),
+              "icpts": np.array([[0.0], [1.0], [2.0]]),
+              "tols": np.logspace(-12, -8, 3).reshape(-1, 1)}
+    bench_cold(benchmark, _CONFIGS[config], HLM.format(par="FALSE"),
+               inputs)
+
+
+@pytest.mark.parametrize("config", list(_CONFIGS))
+def test_fig9f_l2svm_aps(benchmark, aps, config):
+    benchmark.group = "fig9f HL2SVM on APS-like"
+    benchmark.extra_info["figure"] = "9f"
+    X, y = aps
+    inputs = {"X": X, "y": 2.0 * (y - 1.0) - 1.0,
+              "regs": np.logspace(-3, 1, 10).reshape(-1, 1),
+              "icpts": np.array([[0.0], [1.0]])}
+    bench_cold(benchmark, _CONFIGS[config], HL2SVM, inputs)
+
+
+# ---------------------------------------------------------------------------
+# Table 2 summary + correctness guards
+# ---------------------------------------------------------------------------
+
+TABLE2 = """
+Use case   lambda            icpt       tol              K/Wt        TP
+HL2SVM     10 values         {0,1}      1e-12            n/a         no
+HLM        [1e-5, 1]x4       {0,1,2}    [1e-12,1e-8]x3   n/a         yes
+HCV        [1e-5, 1]x6       {0}        n/a              n/a         yes
+ENS        3 values          {0}        1e-12            150 weights (yes)
+PCALM      n/a               n/a        n/a              K>=10%      no
+"""
+
+
+def test_table2_printed(capsys):
+    print(TABLE2)
+
+
+def test_fig9_pipelines_agree(ens_inputs):
+    """Base and LIMA agree on the pipeline outputs (small instances)."""
+    checks = [
+        (HLM.format(par="FALSE"), hlm_inputs(1_000), "opt"),
+        (HCV.format(loop="for", cv="cvlm"), hcv_inputs(1_200), "bestLoss"),
+        (PCALM, pcalm_inputs(1_500), "bestR2"),
+        (ENS, {**ens_inputs, "mi": 2}, "bestAcc"),
+    ]
+    for script, inputs, var in checks:
+        base = LimaSession(LimaConfig.base(), seed=7).run(
+            script, inputs=inputs, seed=7).get(var)
+        lima = LimaSession(LimaConfig.hybrid(), seed=7).run(
+            script, inputs=inputs, seed=7).get(var)
+        np.testing.assert_allclose(lima, base, rtol=1e-7,
+                                   err_msg=var)

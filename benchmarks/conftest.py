@@ -1,0 +1,93 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every benchmark measures a *fresh* session per round (cold cache), the
+same way the paper measures end-to-end executions.  Benchmarks are grouped
+per figure/series so ``pytest benchmarks/ --benchmark-only`` prints one
+comparison table per experiment, mirroring the paper's plots.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+from repro.data import generators as G
+
+# scale factor relative to the paper's data sizes (the paper runs on a
+# 16-core, 128 GB node; these benches target a laptop-class machine)
+SCALE_NOTE = "sizes are ~10-100x below the paper's; compare ratios"
+
+
+def timed_run(config: LimaConfig, script: str, inputs: dict,
+              seed: int = 7) -> tuple[float, LimaSession]:
+    """One cold end-to-end execution; returns (seconds, session)."""
+    sess = LimaSession(config, seed=seed)
+    start = time.perf_counter()
+    sess.run(script, inputs=inputs, seed=seed)
+    return time.perf_counter() - start, sess
+
+
+def bench_cold(benchmark, config_factory, script, inputs, seed=7,
+               rounds=1):
+    """Benchmark cold end-to-end runs (fresh session per round).
+
+    Cache contents are released outside the timed region so earlier
+    benchmarks do not inflate later ones through memory pressure.
+    """
+    import gc
+
+    sessions = []
+
+    def once():
+        sess = LimaSession(config_factory(), seed=seed)
+        sessions.append(sess)
+        sess.run(script, inputs=inputs, seed=seed)
+
+    benchmark.pedantic(once, rounds=rounds, iterations=1,
+                       warmup_rounds=0)
+    for sess in sessions:
+        sess.clear_cache()
+    sessions.clear()
+    gc.collect()
+
+
+@pytest.fixture(scope="session")
+def reg_data():
+    """Shared regression datasets by (rows, cols)."""
+    cache = {}
+
+    def get(rows, cols, seed=3):
+        key = (rows, cols, seed)
+        if key not in cache:
+            cache[key] = G.regression(rows, cols, seed=seed)
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def cls_data():
+    """Shared classification datasets by (rows, cols, classes)."""
+    cache = {}
+
+    def get(rows, cols, classes=2, seed=3):
+        key = (rows, cols, classes, seed)
+        if key not in cache:
+            cache[key] = G.classification(rows, cols, classes,
+                                          separation=2.0, seed=seed)
+        return cache[key]
+
+    return get
+
+
+CONFIGS = {
+    "Base": LimaConfig.base,
+    "LT": LimaConfig.lt,
+    "LTP": LimaConfig.ltp,
+    "LTD": LimaConfig.ltd,
+    "LIMA": LimaConfig.hybrid,
+    "LIMA-FR": LimaConfig.full,
+    "LIMA-MLR": LimaConfig.multilevel,
+    "LIMA-CA": LimaConfig.ca,
+}

@@ -1,0 +1,77 @@
+"""Render a pytest-benchmark JSON file as per-figure markdown tables.
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only --benchmark-json=results.json
+    python benchmarks/report.py results.json [-o EXPERIMENTS_RAW.md]
+
+Groups (one per figure x-axis point) become sections; within each group
+the configurations/systems are sorted by mean time with the speedup vs
+the slowest entry, mirroring how the paper reports its series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+
+
+def load_groups(path: str) -> dict[str, list[tuple[str, float]]]:
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    groups: dict[str, list[tuple[str, float]]] = collections.defaultdict(list)
+    for bench in data["benchmarks"]:
+        label = bench["name"].split("[", 1)[-1].rstrip("]")
+        groups[bench["group"] or "(ungrouped)"].append(
+            (label, bench["stats"]["mean"]))
+    return dict(groups)
+
+
+def _fmt_time(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds * 1000:.1f} ms"
+
+
+def render(groups: dict[str, list[tuple[str, float]]]) -> str:
+    lines = ["# Benchmark report", ""]
+    by_figure: dict[str, list[str]] = collections.defaultdict(list)
+    for group in sorted(groups):
+        figure = group.split(" ", 1)[0]
+        by_figure[figure].append(group)
+    for figure in sorted(by_figure):
+        lines.append(f"## {figure}")
+        lines.append("")
+        for group in by_figure[figure]:
+            rows = sorted(groups[group], key=lambda r: r[1])
+            slowest = max(mean for _, mean in rows)
+            lines.append(f"### {group}")
+            lines.append("")
+            lines.append("| config | mean | speedup vs slowest |")
+            lines.append("|--------|-----:|-------------------:|")
+            for label, mean in rows:
+                lines.append(f"| {label} | {_fmt_time(mean)} "
+                             f"| {slowest / mean:.2f}x |")
+            lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json", help="pytest-benchmark JSON results")
+    parser.add_argument("-o", "--out", help="write markdown here "
+                                            "(default: stdout)")
+    args = parser.parse_args(argv)
+    markdown = render(load_groups(args.json))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(markdown + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(markdown)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

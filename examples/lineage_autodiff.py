@@ -1,0 +1,64 @@
+"""Training by differentiating lineage: gradient descent without a tape.
+
+The paper lists auto differentiation among the techniques lineage enables
+(Section 3.4).  Because a lineage DAG is the exact data-flow graph of the
+computed value — control flow resolved, seeds recorded — a traced loss is
+differentiable as-is.  This example trains ridge regression by tracing
+the loss *once*, then repeatedly evaluating the gradient of that trace at
+new weights.
+
+Usage::
+
+    python examples/lineage_autodiff.py
+"""
+
+import numpy as np
+
+from repro import LimaConfig, LimaSession
+from repro.data.generators import regression
+from repro.lineage.autodiff import gradient
+
+LOSS_SCRIPT = """
+e = y - X %*% B;
+loss = sum(e * e) / nrow(X) + reg * sum(B * B);
+"""
+
+
+def main():
+    data = regression(500, 8, noise=0.05, seed=13)
+    weights = np.zeros((8, 1))
+    reg = 1e-3
+
+    # trace the loss once; the lineage DAG is the differentiable program
+    sess = LimaSession(LimaConfig.lt())
+    trace = sess.run(LOSS_SCRIPT,
+                     inputs={"X": data.X, "y": data.y, "B": weights,
+                             "reg": reg})
+    loss_lineage = trace.lineage("loss")
+    print("traced loss lineage:",
+          f"{loss_lineage.num_nodes()} items, depth {loss_lineage.height}")
+
+    lr = 0.05
+    for step in range(60):
+        grads = gradient(loss_lineage,
+                         {"X": data.X, "y": data.y, "B": weights,
+                          "reg": reg}, "B")
+        weights = weights - lr * grads["B"]
+        if step % 10 == 0:
+            loss = sess.run(LOSS_SCRIPT,
+                            inputs={"X": data.X, "y": data.y,
+                                    "B": weights, "reg": reg}).get("loss")
+            print(f"step {step:3d}  loss {loss:.6f}")
+
+    # compare against the closed-form ridge solution
+    n = data.X.shape[0]
+    closed = np.linalg.solve(
+        data.X.T @ data.X / n + reg * np.eye(8), data.X.T @ data.y / n)
+    gap = float(np.abs(weights - closed).max())
+    print(f"\nmax |B_gd - B_closed-form| = {gap:.4f}")
+    assert gap < 0.05
+    print("gradient descent over the lineage trace converged ✓")
+
+
+if __name__ == "__main__":
+    main()

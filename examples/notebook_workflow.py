@@ -1,0 +1,79 @@
+"""Collaborative-notebook workflow: cross-cell and cross-restart reuse.
+
+The paper designed the reuse cache "for process-wide sharing, which also
+applies to collaborative notebook environments" and names cross-process
+reuse as future work (Section 4.5). This example plays both out:
+
+* cells of an exploratory session share one `LimaSession` — re-running a
+  cell after editing only a downstream step reuses everything upstream,
+* the cache is persisted when the "notebook kernel restarts" and
+  warm-starts the next session (`repro.reuse.persist`).
+
+Usage::
+
+    python examples/notebook_workflow.py
+"""
+
+import tempfile
+import time
+
+import numpy as np
+
+from repro import LimaConfig, LimaSession
+from repro.data.generators import regression
+from repro.reuse.persist import load_cache, save_cache
+
+CELL_FEATURIZE = """
+Xs = scaleAndShift(X);
+[R, evects] = pca(Xs, 12);
+"""
+
+CELL_TRAIN = """
+Xs = scaleAndShift(X);
+[R, evects] = pca(Xs, 12);
+B = lmDS(R, y, 0, {reg}, FALSE);
+loss = l2norm(R, y, B);
+print("reg={reg}: loss " + loss);
+"""
+
+
+def run_cell(session, script, inputs, label):
+    start = time.perf_counter()
+    result = session.run(script, inputs=inputs)
+    elapsed = time.perf_counter() - start
+    for line in result.stdout:
+        print(f"   {line}")
+    print(f"   [{label}: {elapsed * 1000:.0f} ms]")
+    return result
+
+
+def main():
+    data = regression(20_000, 80, noise=0.4, seed=6)
+    inputs = {"X": data.X, "y": data.y}
+
+    print("== session 1: exploratory cells (shared in-process cache)")
+    sess = LimaSession(LimaConfig.ca())
+    print("cell 1: featurize")
+    run_cell(sess, CELL_FEATURIZE, inputs, "cold")
+    print("cell 2: train (PCA reused from cell 1)")
+    run_cell(sess, CELL_TRAIN.format(reg="0.001"), inputs, "warm")
+    print("cell 2 edited: only the regularizer changed")
+    run_cell(sess, CELL_TRAIN.format(reg="0.1"), inputs, "warm")
+    print("   cache:", sess.stats)
+
+    with tempfile.NamedTemporaryFile(suffix=".limacache") as handle:
+        written = save_cache(sess.cache, handle.name,
+                             min_compute_time=0.0005)
+        print(f"\n== kernel restart (persisted {written} entries)")
+
+        fresh = LimaSession(LimaConfig.ca())
+        loaded = load_cache(fresh.cache, handle.name)
+        print(f"== session 2: warm-started with {loaded} entries")
+        print("cell 2 re-run after restart")
+        run_cell(fresh, CELL_TRAIN.format(reg="0.1"), inputs, "restored")
+        print("   cache:", fresh.stats)
+        assert fresh.stats.hits > 0, "warm start must produce hits"
+
+
+if __name__ == "__main__":
+    main()

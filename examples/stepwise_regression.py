@@ -1,0 +1,86 @@
+"""Partial reuse on the stepLm inner loop (the paper's Fig. 7a scenario).
+
+Late-stage forward feature selection: a wide, already-selected feature
+matrix X (here 500 columns, as in the paper) and a pool of candidate
+columns.  For every candidate c the quality of the extended model requires
+``A = t(Z) %*% Z`` with ``Z = cbind(X, C[,c])`` — a compute-intensive
+dsyrk recomputed from scratch per candidate by a naive runtime.
+
+* **LIMA** applies the partial rewrite
+  ``dsyrk(cbind(X, dX)) -> [[dsyrk(X), X'dX], [dX'X, dsyrk(dX)]]``:
+  ``t(X) %*% X`` becomes a cache hit and only a cheap matrix-vector
+  product remains (paper: 4.2x).
+* **LIMA-CA** applies the same rewrite during compilation, additionally
+  eliminating the materialization of ``cbind(X, C[,c])`` (paper: 41x).
+
+The candidate's loss is evaluated from the quadratic form
+``loss = y'y - 2 b'beta + beta' A beta`` so no composed matrix is needed
+outside the rewritten dsyrk.
+
+Usage::
+
+    python examples/stepwise_regression.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import LimaConfig, LimaSession
+from repro.data.generators import regression
+
+SCRIPT = """
+XtX = t(X) %*% X;
+Xty = t(X) %*% y;
+yty = sum(y * y);
+D = ncol(X);
+reg = diag(matrix(0.0001, D + 1, 1));
+bestLoss = 999999999999;
+bestC = 0;
+for (c in 1:ncol(C)) {
+  col = C[, c];
+  Z = cbind(X, col);
+  A = t(Z) %*% Z + reg;
+  b = rbind(Xty, t(col) %*% y);
+  beta = solve(A, b);
+  loss = yty - 2 * sum(b * beta) + sum(beta * ((A) %*% beta));
+  if (loss < bestLoss) {
+    bestLoss = loss;
+    bestC = c;
+  }
+}
+print("best candidate: " + bestC + " (loss " + bestLoss + ")");
+"""
+
+
+def main():
+    rng = np.random.default_rng(21)
+    n, d, n_candidates = 20_000, 500, 30
+    data = regression(n, d, seed=21)
+    candidates = rng.standard_normal((n, n_candidates))
+    # one candidate is genuinely informative about the residual
+    y = data.y + 4.0 * candidates[:, [7]]
+    inputs = {"X": data.X, "y": y, "C": candidates}
+
+    outputs = {}
+    timings = {}
+    for name, config in (("Base", LimaConfig.base()),
+                         ("LIMA", LimaConfig.hybrid()),
+                         ("LIMA-CA", LimaConfig.ca())):
+        sess = LimaSession(config, seed=2)
+        start = time.perf_counter()
+        result = sess.run(SCRIPT, inputs=inputs, seed=2)
+        timings[name] = time.perf_counter() - start
+        outputs[name] = result.get("bestC")
+        stats = f"  {sess.stats}" if config.reuse_enabled else ""
+        print(f"{name:8s} {timings[name]:6.2f}s  "
+              f"best={int(outputs[name])}{stats}")
+
+    assert outputs["Base"] == outputs["LIMA"] == outputs["LIMA-CA"] == 8
+    print(f"\nspeedups vs Base: "
+          f"LIMA {timings['Base'] / timings['LIMA']:.1f}x, "
+          f"LIMA-CA {timings['Base'] / timings['LIMA-CA']:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

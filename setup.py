@@ -1,0 +1,8 @@
+"""Setup shim for environments without the wheel package.
+
+``pip install -e .`` reads pyproject.toml; this file additionally enables
+``python setup.py develop`` on minimal toolchains.
+"""
+from setuptools import setup
+
+setup()

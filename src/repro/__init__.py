@@ -1,0 +1,40 @@
+"""repro — a NumPy-based reproduction of LIMA (SIGMOD 2021).
+
+LIMA: Fine-grained Lineage Tracing and Reuse in Machine Learning Systems
+(Arnab Phani, Benjamin Rath, Matthias Boehm).
+
+The package provides a SystemDS-like ML system substrate (a DML-style
+scripting language, compiler, and instruction-based runtime) plus the LIMA
+framework on top: fine-grained lineage tracing with deduplication, and a
+lineage-based reuse cache with multi-level full reuse, partial reuse via
+compensation-plan rewrites, and cost-based eviction.
+
+Public entry points:
+
+* :class:`LimaSession` / :class:`RunResult` — execute scripts, get values
+  and lineage, recompute from lineage,
+* :class:`LimaConfig` — configuration presets matching the paper's
+  experiment configurations (Base, LT, LTP, LTD, LIMA-FR, LIMA-MLR, ...).
+"""
+
+from repro.api import LimaSession, RunResult
+from repro.config import LimaConfig
+from repro.errors import (LimaCompileError, LimaError, LimaRuntimeError,
+                          LimaSyntaxError, LimaValueError, LineageError,
+                          ReuseError)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LimaSession",
+    "RunResult",
+    "LimaConfig",
+    "LimaError",
+    "LimaSyntaxError",
+    "LimaCompileError",
+    "LimaRuntimeError",
+    "LimaValueError",
+    "LineageError",
+    "ReuseError",
+    "__version__",
+]

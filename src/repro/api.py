@@ -1,0 +1,184 @@
+"""Public API: :class:`LimaSession` and :class:`RunResult`.
+
+A session owns a configuration, a process-wide lineage cache shared across
+``run()`` invocations (Section 4.5: the reuse cache is designed for
+process-wide sharing, e.g. collaborative notebooks), and a print buffer.
+
+Quickstart::
+
+    import numpy as np
+    from repro import LimaSession, LimaConfig
+
+    sess = LimaSession(LimaConfig.hybrid())
+    result = sess.run(
+        "B = lm(X, y, 0, 0.001, 0.0000001, 0, FALSE);",
+        inputs={"X": X, "y": y}, outputs=["B"])
+    beta = result.get("B")              # numpy array
+    log = result.lineage_log("B")       # serialized lineage
+    again = sess.recompute(log)         # bit-identical re-computation
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.compiler import compile_script
+from repro.compiler.program import Program
+from repro.config import LimaConfig
+from repro.data.values import (FrameValue, ListValue, MatrixValue,
+                               ScalarValue, StringValue, Value, wrap)
+from repro.errors import LimaError
+from repro.lineage.item import LineageItem
+from repro.lineage.reconstruct import recompute as _recompute
+from repro.lineage.serialize import deserialize, serialize
+from repro.reuse.cache import LineageCache
+from repro.reuse.stats import CacheStats
+from repro.runtime.context import ExecutionContext
+from repro.runtime.interpreter import Interpreter
+
+
+class RunResult:
+    """Outputs, lineage, and printed text of one ``LimaSession.run``."""
+
+    def __init__(self, ctx: ExecutionContext, stdout_start: int):
+        self._ctx = ctx
+        self._stdout_start = stdout_start
+        self._stdout_end = len(ctx.output)
+
+    def value(self, name: str) -> Value:
+        """The raw runtime value of a variable."""
+        return self._ctx.symbols.get(name)
+
+    def get(self, name: str):
+        """The value of a variable as a NumPy array / Python scalar."""
+        value = self._ctx.symbols.get(name)
+        if isinstance(value, (MatrixValue, FrameValue)):
+            return value.data
+        if isinstance(value, (ScalarValue, StringValue)):
+            return value.value
+        if isinstance(value, ListValue):
+            return [v.data if isinstance(v, MatrixValue) else v.value
+                    for v in value.items]
+        raise LimaError(f"cannot export value of kind {value.kind}")
+
+    def lineage(self, name: str) -> LineageItem:
+        """The lineage DAG root of a variable."""
+        return self._ctx.lineage.get(name)
+
+    def lineage_log(self, name: str) -> str:
+        """The serialized lineage log of a variable (Section 3.1)."""
+        return serialize(self._ctx.lineage.get(name))
+
+    @property
+    def stdout(self) -> list[str]:
+        """Lines printed by the script during this run."""
+        return self._ctx.output[self._stdout_start:self._stdout_end]
+
+    def variables(self) -> list[str]:
+        return self._ctx.symbols.names()
+
+
+class LimaSession:
+    """A LIMA execution session: compile once, run many, reuse across runs."""
+
+    def __init__(self, config: LimaConfig | None = None, seed: int = 42):
+        self.config = config or LimaConfig.base()
+        self.config.validate()
+        self.seed = seed
+        self.cache = (LineageCache(self.config)
+                      if self.config.reuse_enabled else None)
+        self.output: list[str] = []
+        self._programs: dict[str, Program] = {}
+        self._run_counter = 0
+        self._input_items: dict[int, tuple[tuple, LineageItem]] = {}
+
+    # ------------------------------------------------------------------
+
+    def compile(self, script: str) -> Program:
+        """Compile (and memoize) a script under this session's config."""
+        program = self._programs.get(script)
+        if program is None:
+            program = compile_script(script, self.config)
+            self._programs[script] = program
+        return program
+
+    def run(self, script: str, inputs: dict | None = None,
+            seed: int | None = None) -> RunResult:
+        """Execute a script; ``inputs`` binds arrays/scalars by name.
+
+        Input matrices get content-fingerprinted leaf lineage, so the same
+        array yields the same lineage across runs — which is what enables
+        cross-invocation reuse through the shared cache.
+        """
+        program = self.compile(script)
+        self._run_counter += 1
+        base_seed = (seed if seed is not None
+                     else self.seed * 1_000_003 + self._run_counter)
+        interpreter = Interpreter(program, self.config, cache=self.cache,
+                                  output=self.output, base_seed=base_seed)
+        bindings = {}
+        for name, obj in (inputs or {}).items():
+            value = wrap(obj)
+            bindings[name] = (value, self._input_item(name, value))
+        stdout_start = len(self.output)
+        ctx = interpreter.run(bindings)
+        return RunResult(ctx, stdout_start)
+
+    def _input_item(self, name: str, value: Value) -> LineageItem:
+        """Content-fingerprinted leaf lineage item for a session input."""
+        if isinstance(value, MatrixValue):
+            # cache fingerprints per array object; hold a reference so ids
+            # cannot be recycled by the garbage collector
+            key = id(value.data)
+            cached = self._input_items.get(key)
+            if cached is not None and cached[0] is value.data:
+                existing = cached[1]
+                if existing.data.split(":", 1)[0] == name:
+                    return existing
+            digest = hashlib.sha1(
+                np.ascontiguousarray(value.data).tobytes()).hexdigest()[:16]
+            item = LineageItem("input", (), f"{name}:{digest}")
+            self._input_items[key] = (value.data, item)
+            return item
+        if isinstance(value, FrameValue):
+            payload = "\x1f".join(
+                str(cell) for cell in value.data.ravel())
+            digest = hashlib.sha1(payload.encode()).hexdigest()[:16]
+            return LineageItem("input", (), f"{name}:{digest}")
+        if isinstance(value, ScalarValue):
+            return LineageItem("input", (), f"{name}:{value.value!r}")
+        if isinstance(value, StringValue):
+            digest = hashlib.sha1(value.value.encode()).hexdigest()[:16]
+            return LineageItem("input", (), f"{name}:{digest}")
+        raise LimaError(f"unsupported input kind {value.kind}")
+
+    # ------------------------------------------------------------------
+
+    def recompute(self, lineage: str | LineageItem,
+                  inputs: dict | None = None):
+        """Re-compute an intermediate from its lineage (Section 3.1).
+
+        ``lineage`` is a lineage log string or a root item; ``inputs``
+        re-binds session inputs referenced by the lineage.
+        """
+        root = (deserialize(lineage) if isinstance(lineage, str)
+                else lineage)
+        value = _recompute(root, inputs or {})
+        if isinstance(value, MatrixValue):
+            return value.data
+        if isinstance(value, (ScalarValue, StringValue)):
+            return value.value
+        return value
+
+    @property
+    def stats(self) -> CacheStats:
+        """Lineage cache statistics (zeros when reuse is disabled)."""
+        if self.cache is None:
+            return CacheStats()
+        return self.cache.stats
+
+    def clear_cache(self) -> None:
+        if self.cache is not None:
+            self.cache.clear()

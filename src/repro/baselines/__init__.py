@@ -1,0 +1,15 @@
+"""Baseline systems for the Section 5 comparisons.
+
+* :mod:`repro.baselines.coarse` — coarse-grained, pipeline-step-level
+  reuse (HELIX / Collaborative Optimizer stand-in),
+* :mod:`repro.baselines.lazy_graph` — a lazily evaluated global operator
+  graph with hash-consing CSE and unbounded materialization (TensorFlow
+  graph-mode stand-in),
+* :mod:`repro.baselines.numpy_algos` — eager, direct NumPy algorithm
+  implementations with no cross-call reuse (Scikit-learn stand-in).
+"""
+
+from repro.baselines.coarse import CoarseGrainedCache
+from repro.baselines.lazy_graph import LazyGraph
+
+__all__ = ["CoarseGrainedCache", "LazyGraph"]

@@ -1,0 +1,66 @@
+"""Coarse-grained, pipeline-level reuse baseline (Section 5.1, "Coarse").
+
+HELIX [Xin et al., VLDB'19] and the Collaborative Optimizer [Derakhshan et
+al., SIGMOD'20] reuse *materialized top-level pipeline steps*: an entire
+black-box step (PCA, an ML training algorithm, a pre-processing pass) is
+memoized on its inputs.  The paper compares against this approach by
+hand-optimizing the top-level pipelines with best-case in-memory reuse on
+the same runtime; this class provides that best-case step cache.
+
+The crucial limitation it shares with the real systems: a step is a black
+box, so *fine-grained* redundancy inside steps (shared ``X^T X`` across
+different hyper-parameters, overlapping folds, internal non-determinism)
+is invisible — which is exactly what LIMA's fine-grained reuse exploits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable
+
+import numpy as np
+
+
+class CoarseGrainedCache:
+    """Step-level memoization keyed on (step name, input fingerprints)."""
+
+    def __init__(self):
+        self._cache: dict[tuple, object] = {}
+        self._fingerprints: dict[int, tuple[object, str]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _fingerprint(self, obj) -> str:
+        if isinstance(obj, np.ndarray):
+            cached = self._fingerprints.get(id(obj))
+            if cached is not None and cached[0] is obj:
+                return cached[1]
+            digest = hashlib.sha1(
+                np.ascontiguousarray(obj).tobytes()).hexdigest()
+            self._fingerprints[id(obj)] = (obj, digest)
+            return digest
+        return repr(obj)
+
+    def step(self, name: str, fn: Callable, *inputs):
+        """Run (or reuse) one pipeline step.
+
+        ``fn(*inputs)`` is executed only when no step with the same name
+        and input fingerprints has been memoized yet.
+        """
+        key = (name,) + tuple(self._fingerprint(x) for x in inputs)
+        if key in self._cache:
+            self.hits += 1
+            return self._cache[key]
+        self.misses += 1
+        result = fn(*inputs)
+        self._cache[key] = result
+        return result
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self._fingerprints.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,249 @@
+"""TensorFlow-graph-mode stand-in: a lazy global operator graph with CSE.
+
+TF with AutoGraph (the paper's *TF-G* baseline, Section 5.5) compiles a
+whole composite pipeline into one computation graph and eliminates common
+subexpressions.  Two properties matter for the comparison:
+
+1. **global CSE** — identical subgraphs are computed once.  Here this is
+   implemented by hash-consing: building the same op over the same inputs
+   returns the same node.
+2. **no eviction** — materialized intermediates of the global graph are
+   retained for the graph's lifetime.  The paper observes TF running
+   out of memory for large inputs "likely because the global graph misses
+   eviction mechanisms for reused intermediates"; :attr:`LazyGraph.
+   materialized_bytes` exposes the analogous unbounded growth.
+
+Usage::
+
+    g = LazyGraph()
+    X = g.constant(x_array)
+    C = g.matmul(g.t(X), X)
+    value = g.run(C)            # ndarray
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+class Node:
+    """One operator in the lazy graph."""
+
+    __slots__ = ("graph", "key", "op", "inputs", "attrs")
+
+    def __init__(self, graph: "LazyGraph", key: tuple, op: str,
+                 inputs: tuple["Node", ...], attrs: tuple):
+        self.graph = graph
+        self.key = key
+        self.op = op
+        self.inputs = inputs
+        self.attrs = attrs
+
+    # operator sugar so pipelines read naturally
+    def __add__(self, other):
+        return self.graph.binary("+", self, other)
+
+    def __sub__(self, other):
+        return self.graph.binary("-", self, other)
+
+    def __mul__(self, other):
+        return self.graph.binary("*", self, other)
+
+    def __truediv__(self, other):
+        return self.graph.binary("/", self, other)
+
+    def __matmul__(self, other):
+        return self.graph.matmul(self, other)
+
+
+_BINARY = {
+    "+": np.add, "-": np.subtract, "*": np.multiply, "/": np.divide,
+    "pow": np.power, "min2": np.minimum, "max2": np.maximum,
+}
+_UNARY = {
+    "exp": np.exp, "log": np.log, "sqrt": np.sqrt, "abs": np.abs,
+    "sigmoid": lambda a: 1.0 / (1.0 + np.exp(-a)),
+    "t": lambda a: a.T.copy(),
+}
+
+
+class LazyGraph:
+    """A hash-consed lazy operator graph with whole-graph memoization."""
+
+    def __init__(self):
+        self._nodes: dict[tuple, Node] = {}
+        self._values: dict[tuple, np.ndarray] = {}  # never evicted
+        self._const_counter = 0
+        self.ops_executed = 0
+
+    # ------------------------------------------------------------------
+    # graph construction (hash-consing CSE)
+    # ------------------------------------------------------------------
+
+    def _intern(self, op: str, inputs: tuple[Node, ...],
+                attrs: tuple = ()) -> Node:
+        key = (op, tuple(n.key for n in inputs), attrs)
+        node = self._nodes.get(key)
+        if node is None:
+            node = Node(self, key, op, inputs, attrs)
+            self._nodes[key] = node
+        return node
+
+    def constant(self, array) -> Node:
+        array = np.asarray(array, dtype=np.float64)
+        if array.ndim == 0:
+            array = array.reshape(1, 1)
+        elif array.ndim == 1:
+            array = array.reshape(-1, 1)
+        digest = hashlib.sha1(
+            np.ascontiguousarray(array).tobytes()).hexdigest()
+        node = self._intern("const", (), (digest,))
+        self._values[node.key] = array
+        return node
+
+    def scalar(self, value: float) -> Node:
+        return self._intern("scalar", (), (float(value),))
+
+    def binary(self, op: str, left: Node, right) -> Node:
+        if not isinstance(right, Node):
+            right = self.scalar(right)
+        if not isinstance(left, Node):
+            left = self.scalar(left)
+        return self._intern(op, (left, right))
+
+    def unary(self, op: str, operand: Node) -> Node:
+        return self._intern(op, (operand,))
+
+    def matmul(self, left: Node, right: Node) -> Node:
+        return self._intern("matmul", (left, right))
+
+    def t(self, operand: Node) -> Node:
+        return self._intern("t", (operand,))
+
+    def sigmoid(self, operand: Node) -> Node:
+        return self._intern("sigmoid", (operand,))
+
+    def exp(self, operand: Node) -> Node:
+        return self._intern("exp", (operand,))
+
+    def log(self, operand: Node) -> Node:
+        return self._intern("log", (operand,))
+
+    def slice_cols(self, operand: Node, lo: int, hi: int) -> Node:
+        """Columns ``lo..hi`` (1-based inclusive, like the DML runtime)."""
+        return self._intern("slicec", (operand,), (int(lo), int(hi)))
+
+    def slice_rows(self, operand: Node, lo: int, hi: int) -> Node:
+        return self._intern("slicer", (operand,), (int(lo), int(hi)))
+
+    def cbind(self, *operands: Node) -> Node:
+        return self._intern("cbind", tuple(operands))
+
+    def rbind(self, *operands: Node) -> Node:
+        return self._intern("rbind", tuple(operands))
+
+    def reduce(self, op: str, operand: Node) -> Node:
+        """Aggregates: sum, mean, colSums, rowSums, colMeans, rowMaxs."""
+        return self._intern(op, (operand,))
+
+    def solve(self, a: Node, b: Node) -> Node:
+        return self._intern("solve", (a, b))
+
+    def eigen(self, a: Node) -> tuple[Node, Node]:
+        values = self._intern("eigvals", (a,))
+        vectors = self._intern("eigvecs", (a,))
+        return values, vectors
+
+    def diag_of(self, scalar_node: Node, size: int) -> Node:
+        return self._intern("diagfill", (scalar_node,), (int(size),))
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self, node: Node) -> np.ndarray:
+        """Evaluate (with whole-graph memoization) and return the value."""
+        order = self._topological(node)
+        for item in order:
+            if item.key in self._values:
+                continue
+            self._values[item.key] = self._execute(item)
+            self.ops_executed += 1
+        return self._values[node.key]
+
+    def _topological(self, root: Node) -> list[Node]:
+        order, seen = [], set()
+        stack = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                if node.key not in seen:
+                    seen.add(node.key)
+                    order.append(node)
+                continue
+            if node.key in seen or node.key in self._values:
+                continue
+            stack.append((node, True))
+            for child in node.inputs:
+                stack.append((child, False))
+        return order
+
+    def _execute(self, node: Node) -> np.ndarray:
+        args = [self._values[n.key] for n in node.inputs]
+        op = node.op
+        if op == "scalar":
+            return np.float64(node.attrs[0])
+        if op in _BINARY:
+            return _BINARY[op](*args)
+        if op in _UNARY:
+            return _UNARY[op](args[0])
+        if op == "matmul":
+            return args[0] @ args[1]
+        if op == "slicec":
+            lo, hi = node.attrs
+            return args[0][:, lo - 1:hi].copy()
+        if op == "slicer":
+            lo, hi = node.attrs
+            return args[0][lo - 1:hi].copy()
+        if op == "cbind":
+            return np.hstack([np.atleast_2d(a) for a in args])
+        if op == "rbind":
+            return np.vstack([np.atleast_2d(a) for a in args])
+        if op == "sum":
+            return np.float64(args[0].sum())
+        if op == "mean":
+            return np.float64(args[0].mean())
+        if op == "colSums":
+            return args[0].sum(axis=0, keepdims=True)
+        if op == "rowSums":
+            return args[0].sum(axis=1, keepdims=True)
+        if op == "colMeans":
+            return args[0].mean(axis=0, keepdims=True)
+        if op == "rowMaxs":
+            return args[0].max(axis=1, keepdims=True)
+        if op == "solve":
+            return np.linalg.solve(args[0], args[1])
+        if op in ("eigvals", "eigvecs"):
+            values, vectors = np.linalg.eigh(args[0])
+            idx = np.argmax(np.abs(vectors), axis=0)
+            signs = np.sign(vectors[idx, np.arange(vectors.shape[1])])
+            signs[signs == 0] = 1.0
+            if op == "eigvals":
+                return values.reshape(-1, 1)
+            return vectors * signs
+        if op == "diagfill":
+            return np.eye(node.attrs[0]) * float(args[0])
+        raise ValueError(f"unknown lazy-graph op {op!r}")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def materialized_bytes(self) -> int:
+        """Bytes held by materialized intermediates (never evicted)."""
+        return sum(v.nbytes for v in self._values.values()
+                   if isinstance(v, np.ndarray))
+
+    def __len__(self) -> int:
+        return len(self._nodes)

@@ -1,0 +1,168 @@
+"""Command-line interface: run scripts, inspect and replay lineage.
+
+Usage::
+
+    python -m repro run script.dml --input X=features.csv --config hybrid \
+        --print-var B --lineage-of B
+    python -m repro recompute trace.lineage --input X=features.csv
+    python -m repro inspect trace.lineage [--dot out.dot]
+
+Input bindings accept ``name=path.csv``, ``name=path.npy``, or
+``name=<number>`` for scalars.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro import LimaConfig, LimaSession
+from repro.lineage.serialize import deserialize
+from repro.lineage.visualize import summarize, to_dot
+
+_PRESETS = {
+    "base": LimaConfig.base,
+    "lt": LimaConfig.lt,
+    "ltp": LimaConfig.ltp,
+    "ltd": LimaConfig.ltd,
+    "full": LimaConfig.full,
+    "multilevel": LimaConfig.multilevel,
+    "hybrid": LimaConfig.hybrid,
+    "ca": LimaConfig.ca,
+}
+
+
+def _parse_binding(spec: str):
+    name, _, value = spec.partition("=")
+    if not name or not value:
+        raise argparse.ArgumentTypeError(
+            f"input must be name=path-or-number, got {spec!r}")
+    return name, value
+
+
+def _load_binding(value: str):
+    if value.endswith(".npy"):
+        return np.load(value)
+    if value.endswith(".csv"):
+        return np.loadtxt(value, delimiter=",", ndmin=2)
+    try:
+        number = float(value)
+    except ValueError:
+        raise SystemExit(f"cannot interpret input value {value!r}: "
+                         "expected .csv, .npy, or a number") from None
+    return int(number) if number.is_integer() else number
+
+
+def _inputs_dict(pairs):
+    return {name: _load_binding(value) for name, value in (pairs or ())}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LIMA reproduction: run DML-like scripts with "
+                    "fine-grained lineage tracing and reuse.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute a script file")
+    run.add_argument("script", help="path to the script")
+    run.add_argument("--input", "-i", action="append",
+                     type=_parse_binding, metavar="NAME=PATH",
+                     help="bind a matrix (.csv/.npy) or scalar input")
+    run.add_argument("--config", "-c", choices=sorted(_PRESETS),
+                     default="hybrid", help="configuration preset")
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--print-var", action="append", default=[],
+                     metavar="NAME", help="print a variable after the run")
+    run.add_argument("--lineage-of", metavar="NAME",
+                     help="print the lineage log of a variable")
+    run.add_argument("--save-var", action="append", default=[],
+                     type=_parse_binding, metavar="NAME=PATH",
+                     help="save a variable to .npy/.csv after the run")
+    run.add_argument("--stats", action="store_true",
+                     help="print lineage cache statistics")
+
+    recompute = sub.add_parser(
+        "recompute", help="recompute a value from a lineage log")
+    recompute.add_argument("lineage", help="path to a .lineage log file")
+    recompute.add_argument("--input", "-i", action="append",
+                           type=_parse_binding, metavar="NAME=PATH")
+    recompute.add_argument("--out", metavar="PATH",
+                           help="save the result (.npy/.csv)")
+
+    inspect = sub.add_parser(
+        "inspect", help="summarize (and optionally render) a lineage log")
+    inspect.add_argument("lineage", help="path to a .lineage log file")
+    inspect.add_argument("--dot", metavar="PATH",
+                         help="write a Graphviz dot rendering")
+    return parser
+
+
+def _save(value, path: str) -> None:
+    array = np.asarray(value)
+    if path.endswith(".npy"):
+        np.save(path, array)
+    else:
+        np.savetxt(path, np.atleast_2d(array), delimiter=",")
+
+
+def cmd_run(args) -> int:
+    with open(args.script, encoding="utf-8") as fh:
+        script = fh.read()
+    config = _PRESETS[args.config]()
+    session = LimaSession(config, seed=args.seed)
+    inputs = _inputs_dict(args.input)
+    start = time.perf_counter()
+    result = session.run(script, inputs=inputs, seed=args.seed)
+    elapsed = time.perf_counter() - start
+    for line in result.stdout:
+        print(line)
+    for name in args.print_var:
+        print(f"{name} =\n{result.get(name)}")
+    for name, path in args.save_var:
+        _save(result.get(name), path)
+        print(f"saved {name} -> {path}")
+    if args.lineage_of:
+        print(result.lineage_log(args.lineage_of), end="")
+    print(f"[{args.config}] elapsed: {elapsed:.3f}s", file=sys.stderr)
+    if args.stats:
+        print(session.stats, file=sys.stderr)
+    return 0
+
+
+def cmd_recompute(args) -> int:
+    with open(args.lineage, encoding="utf-8") as fh:
+        log = fh.read()
+    session = LimaSession(LimaConfig.base())
+    value = session.recompute(log, inputs=_inputs_dict(args.input))
+    if args.out:
+        _save(value, args.out)
+        print(f"saved -> {args.out}")
+    else:
+        print(value)
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    with open(args.lineage, encoding="utf-8") as fh:
+        root = deserialize(fh.read())
+    print(summarize(root))
+    if args.dot:
+        with open(args.dot, "w", encoding="utf-8") as fh:
+            fh.write(to_dot(root))
+        print(f"dot rendering -> {args.dot}")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"run": cmd_run, "recompute": cmd_recompute,
+                "inspect": cmd_inspect}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+"""AST-to-program compilation: blocks, liveness, rewrites, fusion."""
+
+from repro.compiler.compiler import compile_script, compile_program
+from repro.compiler.program import (
+    BasicBlock,
+    ForBlock,
+    FunctionProgram,
+    IfBlock,
+    Program,
+    ProgramBlock,
+    WhileBlock,
+)
+
+__all__ = [
+    "compile_script",
+    "compile_program",
+    "Program",
+    "ProgramBlock",
+    "BasicBlock",
+    "IfBlock",
+    "ForBlock",
+    "WhileBlock",
+    "FunctionProgram",
+]

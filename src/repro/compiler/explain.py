@@ -1,0 +1,169 @@
+"""Plan explanation: render a compiled program like SystemDS ``explain``.
+
+Prints the block hierarchy and per-block instruction sequences (paper
+Fig. 2), annotated with the properties the LIMA passes computed:
+determinism, dedup eligibility (last-level + branch count), block-reuse
+candidacy, unmarked instructions, and fused operators.
+
+Usage::
+
+    from repro.compiler import compile_script
+    from repro.compiler.explain import explain
+    print(explain(compile_script(text, config)))
+"""
+
+from __future__ import annotations
+
+from repro.compiler.program import (BasicBlock, ForBlock, FunctionProgram,
+                                    IfBlock, Program, ProgramBlock,
+                                    WhileBlock)
+from repro.runtime.instructions.base import Instruction, Operand
+from repro.runtime.instructions.cp import (DataGenInstruction,
+                                           FunctionCallInstruction,
+                                           IndexInstruction,
+                                           LeftIndexInstruction,
+                                           MultiReturnInstruction,
+                                           VariableInstruction)
+from repro.runtime.instructions.fused import FusedInstruction
+
+
+def explain(program: Program) -> str:
+    """Human-readable rendering of a compiled program."""
+    lines: list[str] = ["PROGRAM"]
+    for name in sorted(program.functions):
+        func = program.functions[name]
+        lines.extend(_explain_function(func))
+    lines.append("--MAIN")
+    for block in program.blocks:
+        lines.extend(_explain_block(block, depth=1))
+    return "\n".join(lines)
+
+
+def _explain_function(func: FunctionProgram) -> list[str]:
+    flags = []
+    flags.append("deterministic" if func.deterministic
+                 else "non-deterministic")
+    if func.last_level:
+        flags.append(f"last-level ({func.num_branches} branches)")
+    header = (f"--FUNCTION {func.name}({', '.join(func.params)}) "
+              f"-> ({', '.join(func.outputs)}) [{', '.join(flags)}]")
+    lines = [header]
+    for block in func.blocks:
+        lines.extend(_explain_block(block, depth=1))
+    return lines
+
+
+def _explain_block(block: ProgramBlock, depth: int) -> list[str]:
+    pad = "  " * depth
+    if isinstance(block, BasicBlock):
+        flags = []
+        if block.reuse_candidate:
+            flags.append("reuse-candidate")
+        if not block.deterministic:
+            flags.append("non-deterministic")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        lines = [f"{pad}GENERIC (in: {_names(block.inputs)}; "
+                 f"out: {_names(block.outputs)}){suffix}"]
+        for inst in block.instructions:
+            lines.append(f"{pad}  {render_instruction(inst)}")
+        return lines
+    if isinstance(block, IfBlock):
+        lines = [f"{pad}IF (branch id {block.branch_id})"]
+        for inst in block.cond_block.instructions:
+            lines.append(f"{pad}  ? {render_instruction(inst)}")
+        lines.append(f"{pad}  pred: {_operand(block.pred)}")
+        lines.append(f"{pad}THEN")
+        for inner in block.then_blocks:
+            lines.extend(_explain_block(inner, depth + 1))
+        if block.else_blocks:
+            lines.append(f"{pad}ELSE")
+            for inner in block.else_blocks:
+                lines.extend(_explain_block(inner, depth + 1))
+        return lines
+    if isinstance(block, ForBlock):
+        kind = "PARFOR" if block.parallel else "FOR"
+        domain = (f"{_operand(block.range_ops[0])}:"
+                  f"{_operand(block.range_ops[1])}"
+                  if block.range_ops else f"rows({block.seq_var})")
+        flags = []
+        if block.last_level:
+            flags.append(f"dedup-eligible ({block.num_branches} branches)")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        lines = [f"{pad}{kind} {block.var} in {domain}{suffix}"]
+        for inner in block.body:
+            lines.extend(_explain_block(inner, depth + 1))
+        return lines
+    if isinstance(block, WhileBlock):
+        flags = (" [dedup-eligible]") if block.last_level else ""
+        lines = [f"{pad}WHILE{flags}"]
+        for inst in block.cond_block.instructions:
+            lines.append(f"{pad}  ? {render_instruction(inst)}")
+        lines.append(f"{pad}  pred: {_operand(block.pred)}")
+        for inner in block.body:
+            lines.extend(_explain_block(inner, depth + 1))
+        return lines
+    return [f"{pad}<unknown block {type(block).__name__}>"]
+
+
+def _names(names) -> str:
+    shown = sorted(n for n in names if not n.startswith("_t"))
+    return ", ".join(shown) if shown else "-"
+
+
+def _operand(op: Operand | None) -> str:
+    if op is None:
+        return "?"
+    if op.is_literal:
+        return repr(op.value)
+    return op.name
+
+
+def render_instruction(inst: Instruction) -> str:
+    """One-line rendering of an instruction, Fig. 2 style."""
+    marks = " [unmarked]" if inst.unmarked else ""
+    if isinstance(inst, VariableInstruction):
+        src = _operand(inst.src) if inst.src is not None else ""
+        return f"{inst.kind} {src} {inst.dst or ''}".rstrip() + marks
+    if isinstance(inst, FusedInstruction):
+        ops = " ".join(_operand(o) for o in inst.operands)
+        return (f"fused{{{inst.signature}}} {ops} -> {inst.output}"
+                + marks)
+    if isinstance(inst, FunctionCallInstruction):
+        args = " ".join(_operand(o) for o in inst.operands)
+        outs = ",".join(inst.outputs)
+        return f"fcall {inst.fname} {args} -> {outs}" + marks
+    if isinstance(inst, MultiReturnInstruction):
+        outs = ",".join(inst.outputs)
+        return f"{inst.opcode} {_operand(inst.operand)} -> {outs}" + marks
+    if isinstance(inst, DataGenInstruction):
+        args = " ".join(_operand(o) for o in inst.operands)
+        seed = (_operand(inst.seed_operand)
+                if inst.seed_operand is not None else "<system>")
+        return (f"{inst.opcode} {args} seed={seed} -> {inst.output}"
+                + marks)
+    if isinstance(inst, (IndexInstruction, LeftIndexInstruction)):
+        def spec(s):
+            if s is None:
+                return ":"
+            if s[0] == "i":
+                return _operand(s[1])
+            return f"{_operand(s[1])}:{_operand(s[2])}"
+        if isinstance(inst, IndexInstruction):
+            return (f"rightIndex {_operand(inst.obj)}"
+                    f"[{spec(inst.row_spec)}, {spec(inst.col_spec)}]"
+                    f" -> {inst.output}" + marks)
+        return (f"leftIndex {_operand(inst.target)}"
+                f"[{spec(inst.row_spec)}, {spec(inst.col_spec)}]"
+                f" = {_operand(inst.source)} -> {inst.output}" + marks)
+    operands = getattr(inst, "operands", None)
+    if operands is not None:
+        args = " ".join(_operand(o) for o in operands)
+        out = getattr(inst, "output", None)
+        target = f" -> {out}" if out else ""
+        return f"{inst.opcode} {args}{target}" + marks
+    operand = getattr(inst, "operand", None)
+    if operand is not None:
+        out = getattr(inst, "output", None)
+        target = f" -> {out}" if out else ""
+        return f"{inst.opcode} {_operand(operand)}{target}" + marks
+    return f"{inst.opcode}" + marks

@@ -1,0 +1,169 @@
+"""Compiler assistance: unmarking and reuse-aware rewrites (Section 4.4).
+
+Two passes run when ``compiler_assist`` is enabled:
+
+* **Unmarking of intermediates** — instructions that (transitively) read or
+  write loop-carried variables are unmarked for reuse: their lineage changes
+  every iteration, so probing and caching them only pollutes the cache.
+
+* **Reuse-aware tsmm/cbind rewrite** — the ``tsmm(cbind(X, dx))`` pattern
+  (the core of stepLm and cross-validation) is rewritten inside loop bodies
+  with loop-invariant ``X`` into its partial-reuse compensation form::
+
+      tsmm(cbind(X, dx))  →  rbind(cbind(tsmm(X),    t(X) %*% dx),
+                                    cbind(t(t(X)%*%dx), tsmm(dx)))
+
+  which (a) avoids materializing the expensive ``cbind(X, dx)`` entirely
+  and (b) turns ``tsmm(X)`` and ``t(X)`` into loop-invariant cache hits.
+  This is the rewrite behind the 41x of Fig. 7(a) (LIMA-CA).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.compiler.liveness import loop_carried_vars
+from repro.compiler.program import (BasicBlock, ForBlock, IfBlock,
+                                    ProgramBlock, WhileBlock)
+from repro.runtime.instructions.base import Operand
+from repro.runtime.instructions.cp import ComputeInstruction
+
+
+def apply_compiler_assistance(blocks: list[ProgramBlock],
+                              new_temp: Callable[[], str]) -> None:
+    """Run both assistance passes over a block hierarchy, in place."""
+    unmark_loop_intermediates(blocks)
+    rewrite_tsmm_cbind(blocks, new_temp)
+
+
+# ---------------------------------------------------------------------------
+# unmarking
+# ---------------------------------------------------------------------------
+
+def unmark_loop_intermediates(blocks: list[ProgramBlock]) -> None:
+    for block in blocks:
+        if isinstance(block, (ForBlock, WhileBlock)):
+            carried = loop_carried_vars(block.body)
+            _unmark_tainted(block.body, set(carried), carried)
+            unmark_loop_intermediates(block.body)
+        elif isinstance(block, IfBlock):
+            unmark_loop_intermediates(block.then_blocks)
+            unmark_loop_intermediates(block.else_blocks)
+
+
+def _unmark_tainted(blocks: list[ProgramBlock], tainted: set[str],
+                    carried: set[str]) -> None:
+    """Unmark instructions reading/writing loop-carried state, in order."""
+    for block in blocks:
+        if isinstance(block, BasicBlock):
+            for inst in block.instructions:
+                writes_carried = any(o in carried for o in inst.outputs)
+                reads_tainted = any(n in tainted
+                                    for n in inst.input_names())
+                if writes_carried or reads_tainted:
+                    inst.unmarked = True
+                    tainted.update(inst.outputs)
+        elif isinstance(block, IfBlock):
+            _unmark_tainted([block.cond_block], tainted, carried)
+            _unmark_tainted(block.then_blocks, set(tainted), carried)
+            _unmark_tainted(block.else_blocks, set(tainted), carried)
+        elif isinstance(block, (ForBlock, WhileBlock)):
+            _unmark_tainted(block.body, set(tainted), carried)
+
+
+# ---------------------------------------------------------------------------
+# reuse-aware tsmm(cbind(X, dx)) rewrite
+# ---------------------------------------------------------------------------
+
+def rewrite_tsmm_cbind(blocks: list[ProgramBlock],
+                       new_temp: Callable[[], str],
+                       loop_defs: set[str] | None = None) -> None:
+    """Apply the tsmm/cbind rewrite inside loop bodies, in place."""
+    for block in blocks:
+        if isinstance(block, (ForBlock, WhileBlock)):
+            defs = set(block.outputs)
+            for inner in block.body:
+                if isinstance(inner, BasicBlock):
+                    inner.instructions = _rewrite_basic(
+                        inner.instructions, defs, new_temp)
+            rewrite_tsmm_cbind(block.body, new_temp, defs)
+        elif isinstance(block, IfBlock):
+            if loop_defs is not None:
+                for branch in (block.then_blocks, block.else_blocks):
+                    for inner in branch:
+                        if isinstance(inner, BasicBlock):
+                            inner.instructions = _rewrite_basic(
+                                inner.instructions, loop_defs, new_temp)
+            rewrite_tsmm_cbind(block.then_blocks, new_temp, loop_defs)
+            rewrite_tsmm_cbind(block.else_blocks, new_temp, loop_defs)
+
+
+def _rewrite_basic(instructions: list, loop_defs: set[str],
+                   new_temp: Callable[[], str]) -> list:
+    use_count: dict[str, int] = {}
+    for inst in instructions:
+        for name in inst.input_names():
+            use_count[name] = use_count.get(name, 0) + 1
+
+    producers: dict[str, ComputeInstruction] = {}
+    replaced: set[int] = set()  # ids of absorbed cbind instructions
+    result = []
+    for inst in instructions:
+        match = _match_tsmm_cbind(inst, producers, use_count, loop_defs)
+        if match is not None:
+            cbind_inst, x_op, dx_op = match
+            replaced.add(id(cbind_inst))
+            result.extend(_expand_tsmm_cbind(x_op, dx_op, inst.output,
+                                             new_temp, inst.line))
+        else:
+            result.append(inst)
+        if isinstance(inst, ComputeInstruction):
+            producers[inst.output] = inst
+    return [inst for inst in result if id(inst) not in replaced]
+
+
+def _match_tsmm_cbind(inst, producers, use_count, loop_defs):
+    """Match ``tsmm(tmp)`` where ``tmp = cbind(X, dx)`` and X is
+    loop-invariant and ``tmp`` has no other consumer."""
+    if not isinstance(inst, ComputeInstruction) or inst.opcode != "tsmm":
+        return None
+    operand = inst.operands[0]
+    if operand.is_literal:
+        return None
+    # the composed matrix may be a temporary or a single-use user variable
+    # (``Xc = cbind(Xs, X[,c]); A = t(Xc) %*% Xc`` in stepLm); in both
+    # cases its cbind producer is elided, so it must have no other reader
+    if use_count.get(operand.name, 0) != 1:
+        return None
+    cbind_inst = producers.get(operand.name)
+    if (cbind_inst is None or cbind_inst.opcode != "cbind"
+            or len(cbind_inst.operands) != 2):
+        return None
+    x_op, dx_op = cbind_inst.operands
+    if x_op.is_literal or x_op.name in loop_defs:
+        return None  # X must be loop-invariant for the rewrite to pay off
+    return cbind_inst, x_op, dx_op
+
+
+def _expand_tsmm_cbind(x_op: Operand, dx_op: Operand, output: str,
+                       new_temp: Callable[[], str], line: int) -> list:
+    t_xx = new_temp()     # tsmm(X)        — loop-invariant, cache hit
+    t_xt = new_temp()     # t(X)           — loop-invariant, cache hit
+    t_xd = new_temp()     # t(X) %*% dx
+    t_dd = new_temp()     # tsmm(dx)
+    t_dx = new_temp()     # t(t(X) %*% dx)
+    t_top = new_temp()
+    t_bot = new_temp()
+    return [
+        ComputeInstruction("tsmm", [x_op], t_xx, line),
+        ComputeInstruction("t", [x_op], t_xt, line),
+        ComputeInstruction("mm", [Operand.var(t_xt), dx_op], t_xd, line),
+        ComputeInstruction("tsmm", [dx_op], t_dd, line),
+        ComputeInstruction("t", [Operand.var(t_xd)], t_dx, line),
+        ComputeInstruction("cbind", [Operand.var(t_xx), Operand.var(t_xd)],
+                           t_top, line),
+        ComputeInstruction("cbind", [Operand.var(t_dx), Operand.var(t_dd)],
+                           t_bot, line),
+        ComputeInstruction("rbind", [Operand.var(t_top), Operand.var(t_bot)],
+                           output, line),
+    ]

@@ -1,0 +1,162 @@
+"""Runtime configuration for lineage tracing and lineage-based reuse.
+
+Mirrors the configuration surface described in the LIMA paper (Section 4.1
+and Section 5.1): reuse types (none / full / partial / hybrid), multi-level
+reuse, eviction policy, cache budget, disk spilling, lineage deduplication,
+operator fusion, and compiler assistance.
+
+The named presets used throughout the paper's experiments are exposed as
+constructors:
+
+==============  =============================================================
+Preset          Meaning in the paper
+==============  =============================================================
+``base()``      plain SystemDS: no lineage tracing, no reuse
+``lt()``        lineage tracing only (Fig. 6 "LT")
+``ltp()``       lineage tracing + reuse probing, empty cache (Fig. 6 "LTP")
+``ltd()``       lineage tracing with deduplication (Fig. 6 "LTD")
+``full()``      full operation reuse (Fig. 7(b) "LIMA-FR")
+``multilevel()``full + multi-level function/block reuse ("LIMA-MLR")
+``hybrid()``    full + partial reuse, multi-level, C&S eviction — the
+                default "LIMA" configuration of Section 5
+``ca()``        ``hybrid()`` plus compiler assistance (Fig. 7(a) "LIMA-CA")
+==============  =============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+#: Opcodes whose outputs qualify for caching.  Mirrors the configurable set
+#: of reusable instruction opcodes in the paper (Section 4.1).  Cheap
+#: metadata ops (nrow, ncol, assignments) are deliberately excluded to avoid
+#: cache pollution.
+DEFAULT_REUSABLE_OPCODES = frozenset({
+    "mm", "tsmm", "solve", "eigen", "svd", "inv",
+    "cbind", "rbind", "t", "rev",
+    "+", "-", "*", "/", "^", "%%", "min2", "max2",
+    "==", "!=", "<", ">", "<=", ">=", "&", "|",
+    "exp", "log", "sqrt", "abs", "round", "floor", "ceil", "sign", "!",
+    "sigmoid",
+    "sum", "mean", "colSums", "rowSums", "colMeans", "rowMeans",
+    "colMins", "colMaxs", "rowMins", "rowMaxs", "colVars", "colSds",
+    "min", "max", "var", "sd", "trace",
+    "rightIndex", "diag", "table", "order", "cumsum", "rowIndexMax",
+    "matrix", "replace", "fused",
+    "recodeEncode", "binEncode", "oneHotEncode",
+})
+
+
+@dataclass
+class LimaConfig:
+    """Configuration of lineage tracing and the lineage cache.
+
+    Attributes map one-to-one to the knobs discussed in the paper; see the
+    module docstring for the preset constructors used in experiments.
+    """
+
+    #: trace lineage of executed instructions
+    lineage: bool = False
+    #: deduplicate lineage of last-level loops and functions (Section 3.2)
+    dedup: bool = False
+    #: probe/populate the lineage cache for full operation reuse
+    reuse_full: bool = False
+    #: probe partial-reuse rewrites with compensation plans (Section 4.2)
+    reuse_partial: bool = False
+    #: multi-level reuse of function and block outputs (Section 4.1)
+    reuse_multilevel: bool = False
+    #: compiler assistance: unmarking + reuse-aware rewrites (Section 4.4)
+    compiler_assist: bool = False
+    #: enable operator fusion of cell-wise chains (Section 3.3)
+    fusion: bool = False
+    #: cache eviction policy: "lru", "dagheight", or "costsize" (Table 1)
+    eviction_policy: str = "costsize"
+    #: cache budget in bytes (the paper defaults to 5% of heap; we default
+    #: to 256 MiB which plays the same role on a laptop-scale build)
+    cache_budget: int = 256 * 1024 * 1024
+    #: spill evicted entries to disk when recompute cost exceeds I/O cost
+    spill: bool = True
+    #: directory for spill files (None = a per-cache temp directory)
+    spill_dir: str | None = None
+    #: opcodes that qualify for caching
+    reusable_opcodes: frozenset[str] = field(
+        default_factory=lambda: DEFAULT_REUSABLE_OPCODES)
+    #: number of parfor worker threads (None = os.cpu_count())
+    parfor_workers: int | None = None
+    #: assumed disk bandwidth (bytes/s) seeding the adaptive I/O estimate
+    disk_bandwidth: float = 512.0 * 1024 * 1024
+    #: budget (bytes) for the live-variable buffer pool; None disables
+    #: spilling of live matrices (paper Fig. 2 substrate)
+    buffer_pool_budget: int | None = None
+
+    # ------------------------------------------------------------------
+    # presets
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def base() -> "LimaConfig":
+        """Plain execution: no lineage, no reuse (paper baseline *Base*)."""
+        return LimaConfig()
+
+    @staticmethod
+    def lt() -> "LimaConfig":
+        """Lineage tracing only (*LT* in Fig. 6)."""
+        return LimaConfig(lineage=True)
+
+    @staticmethod
+    def ltp() -> "LimaConfig":
+        """Lineage tracing plus cache probing (*LTP* in Fig. 6).
+
+        The cache budget is zero, so nothing is ever admitted and every
+        probe misses — isolating the probing overhead.
+        """
+        return LimaConfig(lineage=True, reuse_full=True, cache_budget=0)
+
+    @staticmethod
+    def ltd() -> "LimaConfig":
+        """Lineage tracing with deduplication (*LTD* in Fig. 6)."""
+        return LimaConfig(lineage=True, dedup=True)
+
+    @staticmethod
+    def full() -> "LimaConfig":
+        """Full operation-level reuse (*LIMA-FR* in Fig. 7(b))."""
+        return LimaConfig(lineage=True, reuse_full=True)
+
+    @staticmethod
+    def multilevel() -> "LimaConfig":
+        """Full + multi-level reuse (*LIMA-MLR* in Fig. 7(b))."""
+        return LimaConfig(lineage=True, reuse_full=True,
+                          reuse_multilevel=True)
+
+    @staticmethod
+    def hybrid() -> "LimaConfig":
+        """The default *LIMA* configuration: full + partial + multi-level."""
+        return LimaConfig(lineage=True, reuse_full=True, reuse_partial=True,
+                          reuse_multilevel=True)
+
+    @staticmethod
+    def ca() -> "LimaConfig":
+        """*LIMA-CA*: hybrid reuse plus compiler assistance (Fig. 7(a))."""
+        return LimaConfig(lineage=True, reuse_full=True, reuse_partial=True,
+                          reuse_multilevel=True, compiler_assist=True)
+
+    # ------------------------------------------------------------------
+
+    def with_(self, **kwargs) -> "LimaConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    @property
+    def reuse_enabled(self) -> bool:
+        """True when any reuse mode requires a lineage cache."""
+        return self.reuse_full or self.reuse_partial or self.reuse_multilevel
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent settings."""
+        if self.eviction_policy not in ("lru", "dagheight", "costsize"):
+            raise ValueError(
+                f"unknown eviction policy: {self.eviction_policy!r}")
+        if self.reuse_enabled and not self.lineage:
+            raise ValueError("reuse requires lineage tracing to be enabled")
+        if self.cache_budget < 0:
+            raise ValueError("cache_budget must be >= 0")

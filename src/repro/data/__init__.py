@@ -1,0 +1,21 @@
+"""Runtime data values and dataset utilities."""
+
+from repro.data.values import (
+    Value,
+    FrameValue,
+    MatrixValue,
+    ScalarValue,
+    StringValue,
+    ListValue,
+    wrap,
+)
+
+__all__ = [
+    "Value",
+    "FrameValue",
+    "MatrixValue",
+    "ScalarValue",
+    "StringValue",
+    "ListValue",
+    "wrap",
+]

@@ -1,0 +1,74 @@
+"""Dataset file I/O helpers.
+
+The runtime's ``read``/``write`` instructions handle CSV and ``.npy``
+matrices; these helpers cover the session-level workflow: persisting
+generated datasets, loading them back as script inputs, and writing a
+matrix together with its lineage log (the ``write(X, 'f')`` →
+``f.lineage`` convention of Section 3.1).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.data.generators import Dataset
+from repro.errors import LimaError
+
+
+def save_matrix(array: np.ndarray, path: str) -> None:
+    """Save a matrix as ``.npy`` or ``.csv`` (by extension)."""
+    array = np.atleast_2d(np.asarray(array, dtype=np.float64))
+    if path.endswith(".npy"):
+        np.save(path, array)
+    elif path.endswith(".csv"):
+        np.savetxt(path, array, delimiter=",")
+    else:
+        raise LimaError(f"unsupported matrix format: {path!r}")
+
+
+def load_matrix(path: str) -> np.ndarray:
+    """Load a matrix saved by :func:`save_matrix` (or the runtime)."""
+    if path.endswith(".npy"):
+        return np.atleast_2d(np.load(path))
+    if path.endswith(".csv"):
+        return np.loadtxt(path, delimiter=",", ndmin=2)
+    raise LimaError(f"unsupported matrix format: {path!r}")
+
+
+def save_dataset(dataset: Dataset, directory: str) -> None:
+    """Persist a generated dataset (X, y, metadata) into a directory."""
+    os.makedirs(directory, exist_ok=True)
+    np.save(os.path.join(directory, "X.npy"), dataset.X)
+    np.save(os.path.join(directory, "y.npy"), dataset.y)
+    meta = {"name": dataset.name, "description": dataset.description,
+            "shape": list(dataset.X.shape)}
+    with open(os.path.join(directory, "meta.json"), "w",
+              encoding="utf-8") as fh:
+        json.dump(meta, fh, indent=2)
+
+
+def load_dataset(directory: str) -> Dataset:
+    """Load a dataset persisted by :func:`save_dataset`."""
+    meta_path = os.path.join(directory, "meta.json")
+    try:
+        with open(meta_path, encoding="utf-8") as fh:
+            meta = json.load(fh)
+    except FileNotFoundError as exc:
+        raise LimaError(f"{directory!r} is not a dataset directory") \
+            from exc
+    return Dataset(
+        name=meta["name"],
+        X=np.load(os.path.join(directory, "X.npy")),
+        y=np.load(os.path.join(directory, "y.npy")),
+        description=meta["description"],
+    )
+
+
+def load_lineage_log(path: str) -> str:
+    """Read the lineage log written next to a matrix by ``write()``."""
+    lineage_path = path if path.endswith(".lineage") else path + ".lineage"
+    with open(lineage_path, encoding="utf-8") as fh:
+        return fh.read()

@@ -1,0 +1,226 @@
+"""Runtime value wrappers held in the symbol table.
+
+The runtime distinguishes four value kinds, mirroring SystemDS' buffer-pool
+managed objects (Fig. 2 of the paper):
+
+* :class:`MatrixValue` — a dense 2-d ``float64`` NumPy array,
+* :class:`ScalarValue` — a Python ``float``/``int``/``bool`` scalar,
+* :class:`StringValue` — a string scalar (for ``print``/``toString``),
+* :class:`ListValue`  — an ordered, optionally named, list of values
+  (used for hyper-parameter lists and multi-return plumbing).
+
+Matrices are treated as immutable by convention: instructions always
+allocate fresh outputs, which is what makes caching their outputs safe.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import LimaValueError
+
+
+class Value:
+    """Abstract base class of runtime values."""
+
+    #: short type tag used in lineage logs and error messages
+    kind: str = "value"
+
+    def nbytes(self) -> int:
+        """Approximate in-memory size in bytes (for cache accounting)."""
+        raise NotImplementedError
+
+
+class MatrixValue(Value):
+    """A dense 2-d float64 matrix.
+
+    Any array-like input is coerced to a C-contiguous ``float64`` matrix;
+    1-d inputs become column vectors, matching DML semantics where every
+    matrix is 2-dimensional.
+    """
+
+    kind = "matrix"
+    __slots__ = ("data",)
+
+    def __init__(self, data):
+        arr = np.asarray(data, dtype=np.float64)
+        if arr.ndim == 0:
+            arr = arr.reshape(1, 1)
+        elif arr.ndim == 1:
+            arr = arr.reshape(-1, 1)
+        elif arr.ndim != 2:
+            raise LimaValueError(
+                f"matrices must be 2-dimensional, got shape {arr.shape}")
+        self.data = np.ascontiguousarray(arr)
+
+    @property
+    def nrow(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def ncol(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.data.shape
+
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def __repr__(self) -> str:
+        return f"MatrixValue({self.nrow}x{self.ncol})"
+
+
+class ScalarValue(Value):
+    """A numeric or boolean scalar."""
+
+    kind = "scalar"
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        if isinstance(value, (bool, np.bool_)):
+            self.value = bool(value)
+        elif isinstance(value, (int, np.integer)):
+            self.value = int(value)
+        elif isinstance(value, (float, np.floating)):
+            self.value = float(value)
+        else:
+            raise LimaValueError(f"not a scalar: {value!r}")
+
+    def nbytes(self) -> int:
+        return 32
+
+    def as_float(self) -> float:
+        return float(self.value)
+
+    def as_int(self) -> int:
+        return int(self.value)
+
+    def as_bool(self) -> bool:
+        return bool(self.value)
+
+    def __repr__(self) -> str:
+        return f"ScalarValue({self.value!r})"
+
+
+class StringValue(Value):
+    """A string scalar."""
+
+    kind = "string"
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        self.value = str(value)
+
+    def nbytes(self) -> int:
+        return 48 + len(self.value)
+
+    def __repr__(self) -> str:
+        return f"StringValue({self.value!r})"
+
+
+class FrameValue(Value):
+    """A 2-d frame of string cells (categorical/raw data).
+
+    Frames carry pre-encoding data (categories, raw CSV fields) through
+    the pipeline; the transform-encode builtins (``recodeEncode``,
+    ``binEncode``, ``oneHotEncode``) turn them into matrices.  Like
+    matrices, frames are immutable by convention and cacheable.
+    """
+
+    kind = "frame"
+    __slots__ = ("data",)
+
+    def __init__(self, data):
+        arr = np.asarray(data, dtype=object)
+        if arr.ndim == 1:
+            arr = arr.reshape(-1, 1)
+        if arr.ndim != 2:
+            raise LimaValueError(
+                f"frames must be 2-dimensional, got shape {arr.shape}")
+        self.data = np.vectorize(str, otypes=[object])(arr) \
+            if arr.size else arr
+
+    @property
+    def nrow(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def ncol(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.data.shape
+
+    def nbytes(self) -> int:
+        # object arrays: pointer + average string payload estimate
+        payload = sum(len(self.data[i, j]) for i in
+                      range(min(self.nrow, 50))
+                      for j in range(self.ncol))
+        rows = max(min(self.nrow, 50), 1)
+        return int(self.data.size * (8 + payload / (rows * max(self.ncol, 1))))
+
+    def __repr__(self) -> str:
+        return f"FrameValue({self.nrow}x{self.ncol})"
+
+
+class ListValue(Value):
+    """An ordered list of values with optional element names.
+
+    Mirrors DML ``list(...)``; supports 1-based positional access and
+    by-name access, both used by ``gridSearch``-style scripts.
+    """
+
+    kind = "list"
+    __slots__ = ("items", "names")
+
+    def __init__(self, items: Sequence[Value], names: Sequence[str] | None = None):
+        self.items = list(items)
+        if names is not None and len(names) != len(self.items):
+            raise LimaValueError("list names must match item count")
+        self.names = list(names) if names is not None else None
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[Value]:
+        return iter(self.items)
+
+    def get(self, index: int) -> Value:
+        """1-based positional access."""
+        if not 1 <= index <= len(self.items):
+            raise LimaValueError(
+                f"list index {index} out of range 1..{len(self.items)}")
+        return self.items[index - 1]
+
+    def get_by_name(self, name: str) -> Value:
+        if self.names is None or name not in self.names:
+            raise LimaValueError(f"no list element named {name!r}")
+        return self.items[self.names.index(name)]
+
+    def nbytes(self) -> int:
+        return 64 + sum(item.nbytes() for item in self.items)
+
+    def __repr__(self) -> str:
+        return f"ListValue(n={len(self.items)})"
+
+
+def wrap(obj) -> Value:
+    """Wrap a Python/NumPy object into the appropriate :class:`Value`."""
+    if isinstance(obj, Value):
+        return obj
+    if isinstance(obj, np.ndarray):
+        if obj.dtype == object or obj.dtype.kind in ("U", "S"):
+            return FrameValue(obj)
+        return MatrixValue(obj)
+    if isinstance(obj, str):
+        return StringValue(obj)
+    if isinstance(obj, (bool, int, float, np.bool_, np.integer, np.floating)):
+        return ScalarValue(obj)
+    if isinstance(obj, (list, tuple)):
+        return ListValue([wrap(x) for x in obj])
+    raise LimaValueError(f"cannot wrap {type(obj).__name__} as runtime value")

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the LIMA reproduction.
+
+All errors raised by the language frontend, the compiler, the runtime, and
+the lineage/reuse subsystems derive from :class:`LimaError` so callers can
+catch the whole family with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class LimaError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class LimaSyntaxError(LimaError):
+    """A script could not be tokenized or parsed.
+
+    Carries the 1-based source line and column of the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        self.line = line
+        self.col = col
+        if line:
+            message = f"line {line}:{col}: {message}"
+        super().__init__(message)
+
+
+class LimaCompileError(LimaError):
+    """The AST was syntactically valid but could not be compiled."""
+
+
+class LimaRuntimeError(LimaError):
+    """An instruction failed during execution."""
+
+
+class LimaValueError(LimaError):
+    """A runtime value had an unexpected type or shape."""
+
+
+class LineageError(LimaError):
+    """Lineage tracing, serialization, or reconstruction failed."""
+
+
+class ReuseError(LimaError):
+    """The lineage cache or a reuse rewrite failed."""

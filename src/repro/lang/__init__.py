@@ -1,0 +1,6 @@
+"""The DML-like scripting language frontend (lexer, parser, AST)."""
+
+from repro.lang.parser import parse
+from repro.lang.lexer import tokenize
+
+__all__ = ["parse", "tokenize"]

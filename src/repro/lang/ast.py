@@ -1,0 +1,205 @@
+"""AST node definitions for the DML-like language.
+
+All nodes are plain dataclasses; expression nodes carry the source line for
+error reporting.  The AST is consumed by :mod:`repro.compiler.compiler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Node:
+    """Base class of all AST nodes."""
+
+
+class Expr(Node):
+    """Base class of expression nodes."""
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class NumLit(Expr):
+    value: float
+    line: int = 0
+
+    @property
+    def is_int(self) -> bool:
+        return float(self.value).is_integer()
+
+
+@dataclass
+class StrLit(Expr):
+    value: str
+    line: int = 0
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool
+    line: int = 0
+
+
+@dataclass
+class Var(Expr):
+    name: str
+    line: int = 0
+
+
+@dataclass
+class BinOp(Expr):
+    """Binary operation; ``op`` is the surface operator (e.g. ``%*%``)."""
+    op: str
+    left: Expr
+    right: Expr
+    line: int = 0
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str  # "-" or "!"
+    operand: Expr
+    line: int = 0
+
+
+@dataclass
+class Call(Expr):
+    """Function or builtin call, with positional and named arguments."""
+    name: str
+    args: list[Expr] = field(default_factory=list)
+    named_args: dict[str, Expr] = field(default_factory=dict)
+    line: int = 0
+
+
+@dataclass
+class IndexSpec(Node):
+    """One dimension of an index expression.
+
+    Exactly one of the following shapes:
+
+    * ``all`` — the dimension is unrestricted (``X[, j]``),
+    * ``index`` — a single scalar or an index-vector expression,
+    * ``lo:hi`` range — both bounds set.
+    """
+    all: bool = False
+    index: Expr | None = None
+    lo: Expr | None = None
+    hi: Expr | None = None
+
+    @property
+    def is_range(self) -> bool:
+        return self.lo is not None
+
+
+@dataclass
+class Index(Expr):
+    """Right indexing ``X[rows, cols]`` (1-based, inclusive ranges)."""
+    obj: Expr
+    rows: IndexSpec = field(default_factory=lambda: IndexSpec(all=True))
+    cols: IndexSpec = field(default_factory=lambda: IndexSpec(all=True))
+    line: int = 0
+
+
+@dataclass
+class RangeExpr(Expr):
+    """``lo:hi`` used as a value (compiles to a ``seq`` row of indices)."""
+    lo: Expr
+    hi: Expr
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+class Stmt(Node):
+    """Base class of statement nodes."""
+    line: int = 0
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = expr`` — plain variable assignment."""
+    target: str
+    expr: Expr
+    line: int = 0
+
+
+@dataclass
+class IndexedAssign(Stmt):
+    """``X[i, j] = expr`` — left indexing (copy-on-write update)."""
+    target: str
+    rows: IndexSpec
+    cols: IndexSpec
+    expr: Expr
+    line: int = 0
+
+
+@dataclass
+class MultiAssign(Stmt):
+    """``[a, b] = f(...)`` — multi-return function call."""
+    targets: list[str]
+    call: Call
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """A bare expression statement (e.g. ``print(...)``)."""
+    expr: Expr
+    line: int = 0
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then_body: list[Stmt]
+    else_body: list[Stmt] = field(default_factory=list)
+    line: int = 0
+    #: branch position id assigned during dedup setup (Section 3.2)
+    branch_id: int = -1
+
+
+@dataclass
+class For(Stmt):
+    """``for``/``parfor`` loop over an integer range or a vector."""
+    var: str
+    seq: Expr                 # RangeExpr or vector expression
+    body: list[Stmt] = field(default_factory=list)
+    parallel: bool = False    # True for parfor
+    line: int = 0
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: list[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Param(Node):
+    """A function parameter with an optional default expression."""
+    name: str
+    default: Expr | None = None
+
+
+@dataclass
+class FuncDef(Stmt):
+    """``name = function(params) return (outputs) { body }``"""
+    name: str
+    params: list[Param]
+    outputs: list[str]
+    body: list[Stmt]
+    line: int = 0
+
+
+@dataclass
+class Script(Node):
+    """A parsed script: top-level statements plus function definitions."""
+    statements: list[Stmt] = field(default_factory=list)
+    functions: dict[str, FuncDef] = field(default_factory=dict)

@@ -1,0 +1,140 @@
+"""Tokenizer for the DML-like scripting language.
+
+The language uses R-like syntax (as in the paper's Example 1): ``%*%`` for
+matrix multiplication, ``<-`` or ``=`` for assignment, ``#`` comments,
+``1:n`` ranges, and braces for blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LimaSyntaxError
+
+KEYWORDS = frozenset({
+    "if", "else", "for", "parfor", "while", "in",
+    "function", "return", "TRUE", "FALSE",
+})
+
+#: multi-character operators, longest first so maximal munch works
+_MULTI_OPS = [
+    "%*%", "%%", "%/%",
+    "<-", "==", "!=", "<=", ">=", "&&", "||",
+]
+
+_SINGLE_OPS = set("+-*/^<>=!&|:,;()[]{}")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its 1-based source position."""
+
+    type: str   # ID, NUM, STR, KW, OP, EOF
+    value: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type}, {self.value!r}, {self.line}:{self.col})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into a list of tokens ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(text)
+
+    def error(msg: str):
+        raise LimaSyntaxError(msg, line, col)
+
+    while i < n:
+        ch = text[i]
+        # whitespace / newlines
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # comments run to end of line
+        if ch == "#":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        start_line, start_col = line, col
+        # string literals, single or double quoted
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            buf = []
+            while j < n and text[j] != quote:
+                if text[j] == "\\" and j + 1 < n:
+                    esc = text[j + 1]
+                    buf.append({"n": "\n", "t": "\t", "\\": "\\",
+                                "'": "'", '"': '"'}.get(esc, esc))
+                    j += 2
+                elif text[j] == "\n":
+                    error("unterminated string literal")
+                else:
+                    buf.append(text[j])
+                    j += 1
+            if j >= n:
+                error("unterminated string literal")
+            tokens.append(Token("STR", "".join(buf), start_line, start_col))
+            col += (j + 1 - i)
+            i = j + 1
+            continue
+        # numbers: ints, floats, scientific notation
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            if j < n and text[j] in "eE":
+                k = j + 1
+                if k < n and text[k] in "+-":
+                    k += 1
+                if k < n and text[k].isdigit():
+                    j = k
+                    while j < n and text[j].isdigit():
+                        j += 1
+            tokens.append(Token("NUM", text[i:j], start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        # identifiers and keywords
+        if ch.isalpha() or ch == "_" or ch == ".":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "._"):
+                j += 1
+            word = text[i:j]
+            kind = "KW" if word in KEYWORDS else "ID"
+            tokens.append(Token(kind, word, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        # multi-char operators (maximal munch)
+        matched = False
+        for op in _MULTI_OPS:
+            if text.startswith(op, i):
+                tokens.append(Token("OP", op, start_line, start_col))
+                i += len(op)
+                col += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        # single-char operators
+        if ch in _SINGLE_OPS:
+            tokens.append(Token("OP", ch, start_line, start_col))
+            i += 1
+            col += 1
+            continue
+        error(f"unexpected character {ch!r}")
+
+    tokens.append(Token("EOF", "", line, col))
+    return tokens

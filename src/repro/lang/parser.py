@@ -1,0 +1,443 @@
+"""Recursive-descent parser for the DML-like language.
+
+Operator precedence follows R (which the paper's DML mirrors), from loosest
+to tightest::
+
+    |  ||          logical or
+    &  &&          logical and
+    !              logical not
+    == != < > <= >= comparison
+    + -            additive
+    * /            multiplicative
+    %*% %% %/%     matrix multiply, modulo, integer division
+    :              range
+    - +            unary sign
+    ^              power (right associative)
+    postfix        indexing X[i,j], calls f(x)
+"""
+
+from __future__ import annotations
+
+from repro.errors import LimaSyntaxError
+from repro.lang import ast
+from repro.lang.lexer import Token, tokenize
+
+
+def parse(text: str) -> ast.Script:
+    """Parse script ``text`` into an :class:`~repro.lang.ast.Script`."""
+    return _Parser(tokenize(text)).parse_script()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        # inside index specs, ':' separates bounds at lowest precedence
+        # (DML semantics: X[(i-1)*b+1 : i*b, ]), so range parsing in the
+        # normal precedence chain is suspended there
+        self._suspend_range = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.type != "EOF":
+            self.pos += 1
+        return tok
+
+    def check(self, type_: str, value: str | None = None,
+              offset: int = 0) -> bool:
+        tok = self.peek(offset)
+        return tok.type == type_ and (value is None or tok.value == value)
+
+    def check_op(self, *values: str, offset: int = 0) -> bool:
+        tok = self.peek(offset)
+        return tok.type == "OP" and tok.value in values
+
+    def expect(self, type_: str, value: str | None = None) -> Token:
+        tok = self.peek()
+        if tok.type != type_ or (value is not None and tok.value != value):
+            want = value if value is not None else type_
+            raise LimaSyntaxError(
+                f"expected {want!r}, found {tok.value or tok.type!r}",
+                tok.line, tok.col)
+        return self.advance()
+
+    def skip_semicolons(self) -> None:
+        while self.check_op(";"):
+            self.advance()
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def parse_script(self) -> ast.Script:
+        script = ast.Script()
+        self.skip_semicolons()
+        while not self.check("EOF"):
+            stmt = self.parse_statement()
+            if isinstance(stmt, ast.FuncDef):
+                if stmt.name in script.functions:
+                    raise LimaSyntaxError(
+                        f"function {stmt.name!r} redefined", stmt.line, 0)
+                script.functions[stmt.name] = stmt
+            else:
+                script.statements.append(stmt)
+            self.skip_semicolons()
+        return script
+
+    def parse_statement(self) -> ast.Stmt:
+        tok = self.peek()
+        if tok.type == "KW":
+            if tok.value == "if":
+                return self.parse_if()
+            if tok.value in ("for", "parfor"):
+                return self.parse_for()
+            if tok.value == "while":
+                return self.parse_while()
+        if self.check_op("["):
+            return self.parse_multi_assign()
+        if tok.type == "ID":
+            # name = function(...) — function definition
+            if (self.check_op("=", "<-", offset=1)
+                    and self.check("KW", "function", offset=2)):
+                return self.parse_funcdef()
+            # name = expr — plain assignment
+            if self.check_op("=", "<-", offset=1):
+                return self.parse_assign()
+            # name[specs] = expr — indexed assignment
+            if self.check_op("[", offset=1):
+                end = self._find_matching_bracket(self.pos + 1)
+                if end >= 0 and (self._is_op_at(end + 1, "=")
+                                 or self._is_op_at(end + 1, "<-")):
+                    return self.parse_indexed_assign()
+        # fall back to expression statement
+        expr = self.parse_expr()
+        return ast.ExprStmt(expr, line=tok.line)
+
+    def _is_op_at(self, index: int, value: str) -> bool:
+        if index >= len(self.tokens):
+            return False
+        tok = self.tokens[index]
+        return tok.type == "OP" and tok.value == value
+
+    def _find_matching_bracket(self, open_pos: int) -> int:
+        """Index of the ``]`` matching the ``[`` at ``open_pos``, or -1."""
+        depth = 0
+        for i in range(open_pos, len(self.tokens)):
+            tok = self.tokens[i]
+            if tok.type != "OP":
+                continue
+            if tok.value in ("[", "(", "{"):
+                depth += 1
+            elif tok.value in ("]", ")", "}"):
+                depth -= 1
+                if depth == 0:
+                    return i
+        return -1
+
+    def parse_assign(self) -> ast.Assign:
+        name_tok = self.expect("ID")
+        self.advance()  # '=' or '<-'
+        expr = self.parse_expr()
+        return ast.Assign(name_tok.value, expr, line=name_tok.line)
+
+    def parse_indexed_assign(self) -> ast.IndexedAssign:
+        name_tok = self.expect("ID")
+        rows, cols = self.parse_index_specs()
+        self.advance()  # '=' or '<-'
+        expr = self.parse_expr()
+        return ast.IndexedAssign(name_tok.value, rows, cols, expr,
+                                 line=name_tok.line)
+
+    def parse_multi_assign(self) -> ast.MultiAssign:
+        open_tok = self.expect("OP", "[")
+        targets = [self.expect("ID").value]
+        while self.check_op(","):
+            self.advance()
+            targets.append(self.expect("ID").value)
+        self.expect("OP", "]")
+        if self.check_op("<-"):
+            self.advance()
+        else:
+            self.expect("OP", "=")
+        expr = self.parse_expr()
+        if not isinstance(expr, ast.Call):
+            raise LimaSyntaxError("multi-assignment requires a function call",
+                                  open_tok.line, open_tok.col)
+        return ast.MultiAssign(targets, expr, line=open_tok.line)
+
+    def parse_funcdef(self) -> ast.FuncDef:
+        name_tok = self.expect("ID")
+        self.advance()  # '=' or '<-'
+        self.expect("KW", "function")
+        self.expect("OP", "(")
+        params: list[ast.Param] = []
+        while not self.check_op(")"):
+            pname = self.expect("ID").value
+            default = None
+            if self.check_op("="):
+                self.advance()
+                default = self.parse_expr()
+            params.append(ast.Param(pname, default))
+            if self.check_op(","):
+                self.advance()
+        self.expect("OP", ")")
+        self.expect("KW", "return")
+        self.expect("OP", "(")
+        outputs: list[str] = []
+        while not self.check_op(")"):
+            outputs.append(self.expect("ID").value)
+            if self.check_op(","):
+                self.advance()
+        self.expect("OP", ")")
+        body = self.parse_block()
+        return ast.FuncDef(name_tok.value, params, outputs, body,
+                           line=name_tok.line)
+
+    def parse_if(self) -> ast.If:
+        tok = self.expect("KW", "if")
+        self.expect("OP", "(")
+        cond = self.parse_expr()
+        self.expect("OP", ")")
+        then_body = self.parse_block()
+        else_body: list[ast.Stmt] = []
+        self.skip_semicolons()
+        if self.check("KW", "else"):
+            self.advance()
+            if self.check("KW", "if"):
+                else_body = [self.parse_if()]
+            else:
+                else_body = self.parse_block()
+        return ast.If(cond, then_body, else_body, line=tok.line)
+
+    def parse_for(self) -> ast.For:
+        tok = self.advance()  # for | parfor
+        parallel = tok.value == "parfor"
+        self.expect("OP", "(")
+        var = self.expect("ID").value
+        self.expect("KW", "in")
+        seq = self.parse_expr()
+        self.expect("OP", ")")
+        body = self.parse_block()
+        return ast.For(var, seq, body, parallel=parallel, line=tok.line)
+
+    def parse_while(self) -> ast.While:
+        tok = self.expect("KW", "while")
+        self.expect("OP", "(")
+        cond = self.parse_expr()
+        self.expect("OP", ")")
+        body = self.parse_block()
+        return ast.While(cond, body, line=tok.line)
+
+    def parse_block(self) -> list[ast.Stmt]:
+        if self.check_op("{"):
+            self.advance()
+            body: list[ast.Stmt] = []
+            self.skip_semicolons()
+            while not self.check_op("}"):
+                if self.check("EOF"):
+                    tok = self.peek()
+                    raise LimaSyntaxError("unexpected end of script in block",
+                                          tok.line, tok.col)
+                body.append(self.parse_statement())
+                self.skip_semicolons()
+            self.advance()
+            return body
+        return [self.parse_statement()]
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.check_op("|", "||"):
+            tok = self.advance()
+            right = self.parse_and()
+            left = ast.BinOp("|", left, right, line=tok.line)
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_not()
+        while self.check_op("&", "&&"):
+            tok = self.advance()
+            right = self.parse_not()
+            left = ast.BinOp("&", left, right, line=tok.line)
+        return left
+
+    def parse_not(self) -> ast.Expr:
+        if self.check_op("!"):
+            tok = self.advance()
+            return ast.UnaryOp("!", self.parse_not(), line=tok.line)
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> ast.Expr:
+        left = self.parse_additive()
+        while self.check_op("==", "!=", "<", ">", "<=", ">="):
+            tok = self.advance()
+            right = self.parse_additive()
+            left = ast.BinOp(tok.value, left, right, line=tok.line)
+        return left
+
+    def parse_additive(self) -> ast.Expr:
+        left = self.parse_multiplicative()
+        while self.check_op("+", "-"):
+            tok = self.advance()
+            right = self.parse_multiplicative()
+            left = ast.BinOp(tok.value, left, right, line=tok.line)
+        return left
+
+    def parse_multiplicative(self) -> ast.Expr:
+        left = self.parse_special()
+        while self.check_op("*", "/"):
+            tok = self.advance()
+            right = self.parse_special()
+            left = ast.BinOp(tok.value, left, right, line=tok.line)
+        return left
+
+    def parse_special(self) -> ast.Expr:
+        left = self.parse_range()
+        while self.check_op("%*%", "%%", "%/%"):
+            tok = self.advance()
+            right = self.parse_range()
+            left = ast.BinOp(tok.value, left, right, line=tok.line)
+        return left
+
+    def parse_range(self) -> ast.Expr:
+        left = self.parse_unary()
+        if self.check_op(":") and not self._suspend_range:
+            tok = self.advance()
+            right = self.parse_unary()
+            return ast.RangeExpr(left, right, line=tok.line)
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        if self.check_op("-"):
+            tok = self.advance()
+            operand = self.parse_unary()
+            # fold negative numeric literals for cleaner lineage leaves
+            if isinstance(operand, ast.NumLit):
+                return ast.NumLit(-operand.value, line=tok.line)
+            return ast.UnaryOp("-", operand, line=tok.line)
+        if self.check_op("+"):
+            self.advance()
+            return self.parse_unary()
+        return self.parse_power()
+
+    def parse_power(self) -> ast.Expr:
+        base = self.parse_postfix()
+        if self.check_op("^"):
+            tok = self.advance()
+            exponent = self.parse_unary()  # right associative
+            return ast.BinOp("^", base, exponent, line=tok.line)
+        return base
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.check_op("["):
+                rows, cols = self.parse_index_specs()
+                expr = ast.Index(expr, rows, cols, line=self.peek().line)
+            else:
+                break
+        return expr
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.type == "NUM":
+            self.advance()
+            return ast.NumLit(float(tok.value), line=tok.line)
+        if tok.type == "STR":
+            self.advance()
+            return ast.StrLit(tok.value, line=tok.line)
+        if tok.type == "KW" and tok.value in ("TRUE", "FALSE"):
+            self.advance()
+            return ast.BoolLit(tok.value == "TRUE", line=tok.line)
+        if tok.type == "ID":
+            self.advance()
+            if self.check_op("("):
+                return self.parse_call(tok)
+            return ast.Var(tok.value, line=tok.line)
+        if self.check_op("("):
+            self.advance()
+            suspended = self._suspend_range
+            self._suspend_range = 0  # ranges are legal inside parentheses
+            expr = self.parse_expr()
+            self._suspend_range = suspended
+            self.expect("OP", ")")
+            return expr
+        raise LimaSyntaxError(
+            f"unexpected token {tok.value or tok.type!r}", tok.line, tok.col)
+
+    def parse_call(self, name_tok: Token) -> ast.Call:
+        self.expect("OP", "(")
+        suspended = self._suspend_range
+        self._suspend_range = 0  # ranges are legal inside call arguments
+        args: list[ast.Expr] = []
+        named: dict[str, ast.Expr] = {}
+        while not self.check_op(")"):
+            # named argument: ID '=' expr (but not ID '==' ...)
+            if (self.check("ID") and self.check_op("=", offset=1)):
+                key = self.advance().value
+                self.advance()
+                named[key] = self.parse_expr()
+            else:
+                if named:
+                    tok = self.peek()
+                    raise LimaSyntaxError(
+                        "positional argument after named argument",
+                        tok.line, tok.col)
+                args.append(self.parse_expr())
+            if self.check_op(","):
+                self.advance()
+            elif not self.check_op(")"):
+                tok = self.peek()
+                raise LimaSyntaxError(
+                    f"expected ',' or ')' in call, found {tok.value!r}",
+                    tok.line, tok.col)
+        self.expect("OP", ")")
+        self._suspend_range = suspended
+        return ast.Call(name_tok.value, args, named, line=name_tok.line)
+
+    # ------------------------------------------------------------------
+    # index specs
+    # ------------------------------------------------------------------
+
+    def parse_index_specs(self) -> tuple[ast.IndexSpec, ast.IndexSpec]:
+        """Parse ``[rows]`` or ``[rows, cols]`` after the opening bracket.
+
+        A single spec (no comma) means row selection on a column vector /
+        matrix, matching DML's ``X[i]`` ≡ ``X[i, ]`` for vectors.
+        """
+        self.expect("OP", "[")
+        rows = self.parse_one_spec(terminators=(",", "]"))
+        if self.check_op(","):
+            self.advance()
+            cols = self.parse_one_spec(terminators=("]",))
+        else:
+            cols = ast.IndexSpec(all=True)
+        self.expect("OP", "]")
+        return rows, cols
+
+    def parse_one_spec(self, terminators: tuple[str, ...]) -> ast.IndexSpec:
+        if self.check_op(*terminators):
+            return ast.IndexSpec(all=True)
+        self._suspend_range += 1
+        try:
+            lo = self.parse_expr()
+            if self.check_op(":"):
+                self.advance()
+                hi = self.parse_expr()
+                return ast.IndexSpec(lo=lo, hi=hi)
+        finally:
+            self._suspend_range -= 1
+        return ast.IndexSpec(index=lo)

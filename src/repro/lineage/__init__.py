@@ -1,0 +1,26 @@
+"""Lineage tracing: items, maps, dedup, serialization, reconstruction.
+
+``reconstruct_program``/``recompute`` are re-exported lazily (they depend
+on the runtime package, which in turn imports lineage items).
+"""
+
+from repro.lineage.item import LineageItem, literal_item
+from repro.lineage.lmap import LineageMap
+from repro.lineage.serialize import serialize, deserialize
+
+__all__ = [
+    "LineageItem",
+    "literal_item",
+    "LineageMap",
+    "serialize",
+    "deserialize",
+    "reconstruct_program",
+    "recompute",
+]
+
+
+def __getattr__(name):
+    if name in ("reconstruct_program", "recompute"):
+        from repro.lineage import reconstruct
+        return getattr(reconstruct, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,298 @@
+"""Lineage deduplication for last-level loops and functions (Section 3.2).
+
+Large lineage DAGs originate from repeated execution of loop/function
+bodies.  Deduplication extracts per-control-path *lineage patches* — lineage
+sub-DAG templates over placeholder leaves — stores each patch once in a
+content-addressed registry, and appends a single ``dedup`` lineage item per
+iteration to the global DAG.
+
+Non-determinism is handled as in the paper: system-generated seeds become
+additional placeholders of the patch, traced per iteration and attached as
+literal inputs to the ``dedup`` item.
+
+Hash consistency with plain lineage is enforced (needed so normal and
+deduplicated sub-DAGs compare equal): the ``dout`` item for an output is
+given the *expanded* hash, computed by folding the patch structure over the
+actual input hashes — an O(patch) computation per iteration with no DAG
+materialization.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import LineageError
+from repro.lineage.item import LineageItem, literal_item, parse_literal
+
+#: a patch-node input reference: ("P", placeholder pos) or ("N", node idx)
+Ref = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class PatchNode:
+    """One templated operation inside a lineage patch."""
+
+    opcode: str
+    data: str | None
+    inputs: tuple[Ref, ...]
+
+
+@dataclass
+class LineagePatch:
+    """A deduplicated lineage sub-DAG over placeholder leaves."""
+
+    nodes: list[PatchNode] = field(default_factory=list)
+    #: output name -> Ref (an internal node or a passthrough placeholder)
+    outputs: dict[str, Ref] = field(default_factory=dict)
+    num_inputs: int = 0      # regular placeholders (loop inputs + index)
+    num_seeds: int = 0       # seed placeholders appended after the inputs
+    uid: str = ""            # content-addressed id (set on registration)
+
+    def content_hash(self) -> int:
+        return hash((tuple(self.nodes), tuple(sorted(self.outputs.items())),
+                     self.num_inputs, self.num_seeds))
+
+    def fold_hashes(self, input_hashes: list[int]) -> dict[str, int]:
+        """Expanded root hash per output, without materializing items.
+
+        Replays the exact :class:`LineageItem` hash formula over the patch
+        structure, so a ``dout`` item hashes identically to the plain
+        lineage it stands for.
+        """
+        node_hash: list[int] = []
+        for node in self.nodes:
+            child = tuple(input_hashes[i] if kind == "P" else node_hash[i]
+                          for kind, i in node.inputs)
+            node_hash.append(hash((node.opcode, node.data) + child))
+        result = {}
+        for name, (kind, i) in self.outputs.items():
+            result[name] = input_hashes[i] if kind == "P" else node_hash[i]
+        return result
+
+    def expand(self, inputs: list[LineageItem]) -> dict[str, LineageItem]:
+        """Materialize the patch into plain lineage items."""
+        items: list[LineageItem] = []
+        for node in self.nodes:
+            child = [inputs[i] if kind == "P" else items[i]
+                     for kind, i in node.inputs]
+            items.append(LineageItem(node.opcode, child, node.data))
+        result = {}
+        for name, (kind, i) in self.outputs.items():
+            result[name] = inputs[i] if kind == "P" else items[i]
+        return result
+
+
+# ---------------------------------------------------------------------------
+# content-addressed patch registry (process-wide, thread-safe)
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, LineagePatch] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_patch(patch: LineagePatch) -> LineagePatch:
+    """Register a patch; identical content yields the same instance."""
+    uid = format(patch.content_hash() & 0xFFFFFFFFFFFFFFFF, "x")
+    with _REGISTRY_LOCK:
+        existing = _REGISTRY.get(uid)
+        if existing is not None:
+            return existing
+        patch.uid = uid
+        _REGISTRY[uid] = patch
+        return patch
+
+
+def get_patch(uid: str) -> LineagePatch:
+    with _REGISTRY_LOCK:
+        patch = _REGISTRY.get(uid)
+    if patch is None:
+        raise LineageError(f"unknown lineage patch {uid!r}")
+    return patch
+
+
+def registry_size() -> int:
+    with _REGISTRY_LOCK:
+        return len(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# patch extraction from a traced iteration
+# ---------------------------------------------------------------------------
+
+def extract_patch(roots: dict[str, LineageItem],
+                  num_inputs: int) -> tuple[LineagePatch, list[LineageItem]]:
+    """Extract a patch from an iteration traced over placeholder leaves.
+
+    ``roots`` maps output names to local lineage roots whose leaves are
+    ``PH`` placeholders (positions ``0..num_inputs-1``), literals, or seed
+    literals (``SL``).  Seed literals become additional placeholders in
+    execution (creation-id) order; the function returns the patch plus the
+    ordered seed items so the caller can align per-iteration seed values.
+    """
+    order: list[LineageItem] = []
+    seen: dict[int, Ref] = {}
+    seed_items: list[LineageItem] = []
+
+    # iterative post-order over the union DAG
+    for root in roots.values():
+        stack: list[tuple[LineageItem, bool]] = [(root, False)]
+        while stack:
+            item, expanded = stack.pop()
+            if id(item) in seen:
+                continue
+            if item.opcode == "PH":
+                seen[id(item)] = ("P", int(item.data))
+                continue
+            if item.opcode == "SL":
+                seen[id(item)] = ("S", 0)  # position fixed after sorting
+                seed_items.append(item)
+                continue
+            if item.opcode in ("dedup", "dout"):
+                raise LineageError(
+                    "nested deduplication is not supported (Section 3.2 "
+                    "limits dedup to last-level loops and functions)")
+            if expanded:
+                seen[id(item)] = ("N", len(order))
+                order.append(item)
+            else:
+                stack.append((item, True))
+                for child in item.inputs:
+                    if id(child) not in seen:
+                        stack.append((child, False))
+
+    # seed placeholders in execution order (creation ids are monotone)
+    seed_items.sort(key=lambda s: s.id)
+    for pos, seed in enumerate(seed_items):
+        seen[id(seed)] = ("P", num_inputs + pos)
+
+    nodes: list[PatchNode] = []
+    for item in order:
+        refs = tuple(seen[id(child)] for child in item.inputs)
+        nodes.append(PatchNode(item.opcode, item.data, refs))
+
+    outputs = {name: seen[id(root)] for name, root in roots.items()}
+    patch = LineagePatch(nodes=nodes, outputs=outputs,
+                         num_inputs=num_inputs,
+                         num_seeds=len(seed_items))
+    return register_patch(patch), seed_items
+
+
+# ---------------------------------------------------------------------------
+# dedup item construction and expansion
+# ---------------------------------------------------------------------------
+
+def make_dedup_items(patch: LineagePatch, inputs: list[LineageItem],
+                     seeds: list[int]) \
+        -> tuple[LineageItem, dict[str, LineageItem]]:
+    """Build the per-iteration ``dedup`` item and its ``dout`` items.
+
+    ``inputs`` are the actual lineage items of the loop inputs (ordered as
+    the placeholders), ``seeds`` the system seeds drawn this iteration.
+    """
+    if len(inputs) != patch.num_inputs:
+        raise LineageError(
+            f"patch expects {patch.num_inputs} inputs, got {len(inputs)}")
+    if len(seeds) != patch.num_seeds:
+        raise LineageError(
+            f"patch expects {patch.num_seeds} seeds, got {len(seeds)}")
+    all_inputs = list(inputs)
+    all_inputs.extend(literal_item(seed, seed=True) for seed in seeds)
+    dedup_hash = hash(("dedup", patch.uid)
+                      + tuple(i._hash for i in all_inputs))
+    dedup = LineageItem("dedup", all_inputs, patch.uid,
+                        hash_override=dedup_hash)
+    out_hashes = patch.fold_hashes([i._hash for i in all_inputs])
+    douts = {
+        name: LineageItem("dout", [dedup], name,
+                          hash_override=out_hashes[name])
+        for name in patch.outputs
+    }
+    return dedup, douts
+
+
+def expand_item(item: LineageItem) -> LineageItem:
+    """Expand a ``dedup``/``dout`` item into plain lineage (Section 3.2).
+
+    The item's inputs must already be dedup-free — callers go through
+    :meth:`LineageItem.resolve`, which resolves bottom-up with
+    memoization before expanding.
+    """
+    if item.opcode == "dout":
+        dedup = item.inputs[0]
+        patch = get_patch(dedup.data)
+        return patch.expand(list(dedup.inputs))[item.data]
+    if item.opcode == "dedup":
+        # a bare dedup item bundles all outputs; expansion returns a
+        # synthetic bundle node over the expanded roots
+        patch = get_patch(item.data)
+        expanded = patch.expand(list(item.inputs))
+        roots = [expanded[name] for name in sorted(expanded)]
+        return LineageItem("bundle", roots, ",".join(sorted(expanded)))
+    return item
+
+
+class DedupTracker:
+    """Per-loop-execution dedup state (setup + minimal runtime tracing).
+
+    Lifecycle (paper Section 3.2):
+
+    * **setup** on loop entry: placeholder items for the ordered loop
+      inputs, an empty patch map keyed by control-path bitvector,
+    * **per iteration**: trace into a local lineage map over placeholders,
+      collect the taken-branch bitvector and system seeds; on iteration
+      end, extract/lookup the patch and emit one ``dedup`` item,
+    * **fast mode**: once every distinct path (``2^num_branches``) has a
+      patch, full local tracing stops and only the bitvector and seeds are
+      traced.
+    """
+
+    def __init__(self, input_names: list[str], num_branches: int):
+        self.input_names = list(input_names)
+        self.num_branches = num_branches
+        self.placeholders = [LineageItem("PH", (), str(i))
+                             for i in range(len(self.input_names))]
+        self.patches: dict[str, LineagePatch] = {}
+        self.bits = 0
+        self.seeds: list[int] = []
+
+    def begin_iteration(self) -> None:
+        self.bits = 0
+        self.seeds = []
+
+    @property
+    def fast_mode(self) -> bool:
+        """All distinct control paths already have patches."""
+        return len(self.patches) >= (1 << self.num_branches)
+
+    def record_branch(self, branch_id: int, taken: bool) -> None:
+        if taken and branch_id >= 0:
+            self.bits |= (1 << branch_id)
+
+    def record_seed(self, seed: int) -> None:
+        self.seeds.append(seed)
+
+    def path_key(self) -> str:
+        return format(self.bits, "b")
+
+    def finish_iteration(self, roots: dict[str, LineageItem] | None) \
+            -> tuple[LineagePatch, list[int]]:
+        """Close the iteration; returns (patch, seeds drawn this iteration).
+
+        The caller combines these with the actual input lineages via
+        :func:`make_dedup_items`.  ``roots`` is the traced local lineage
+        (None in fast mode, where the patch must already exist).
+        """
+        key = self.path_key()
+        patch = self.patches.get(key)
+        if patch is None:
+            if roots is None:
+                raise LineageError(
+                    f"no patch for control path {key!r} in fast mode")
+            patch, _ = extract_patch(roots, len(self.input_names))
+            self.patches[key] = patch
+        return patch, self.seeds
+
+    def dedup_inputs(self, outer_lineage) -> list[LineageItem]:
+        """Actual lineage items of the loop inputs, placeholder-ordered."""
+        return [outer_lineage.get(name) for name in self.input_names]

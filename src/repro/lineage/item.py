@@ -1,0 +1,222 @@
+"""Lineage items and lineage DAGs (paper Definition 1).
+
+A lineage item is an immutable node of the lineage DAG: an ID, an opcode,
+an ordered list of input items, and an optional data string (literal value,
+system-generated seed, dedup patch key, ...).  The DAG encodes the exact
+creation process of an intermediate, without the control-flow computation.
+
+Hashes are materialized at construction: the hash of an item is a hash over
+its opcode, data, and the hashes of all inputs, so constructing and hashing
+a new item over existing inputs is O(#inputs) (constant for fixed arity),
+exactly as required for cheap cache probing (Section 4.1).  Equality is
+structural and implemented non-recursively with memoization, so large DAGs
+with shared sub-DAGs are compared without exponential blowup.
+
+Special opcodes:
+
+* ``L``       — a literal leaf; ``data`` holds ``<repr>·<type-tag>``
+* ``SL``      — a seed literal leaf (system-generated non-determinism)
+* ``PH``      — a placeholder leaf inside a dedup/fusion lineage patch
+* ``dedup``   — one loop/function iteration, referencing a lineage patch
+* ``dout``    — one named output of a ``dedup`` item
+* ``fcall:*`` — a function-call item used for multi-level reuse
+* ``fout``    — one output of an ``fcall`` item
+* ``bcall``   — a block-call item used for block-level reuse
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Iterable, Iterator
+
+_ID_COUNTER = itertools.count(1)
+_ID_LOCK = threading.Lock()
+
+
+def _next_id() -> int:
+    with _ID_LOCK:
+        return next(_ID_COUNTER)
+
+
+class LineageItem:
+    """An immutable node in a lineage DAG."""
+
+    __slots__ = ("id", "opcode", "inputs", "data", "_hash", "height")
+
+    def __init__(self, opcode: str, inputs: Iterable["LineageItem"] = (),
+                 data: str | None = None, hash_override: int | None = None):
+        self.id = _next_id()
+        self.opcode = opcode
+        self.inputs: tuple[LineageItem, ...] = tuple(inputs)
+        self.data = data
+        self.height = (1 + max((i.height for i in self.inputs), default=-1)
+                       if self.inputs else 0)
+        if hash_override is not None:
+            self._hash = hash_override
+        else:
+            self._hash = hash(
+                (opcode, data) + tuple(i._hash for i in self.inputs))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.inputs
+
+    @property
+    def is_dedup(self) -> bool:
+        return self.opcode == "dedup"
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, LineageItem):
+            return NotImplemented
+        if self._hash != other._hash:
+            return False
+        return _structural_equals(self, other)
+
+    def __repr__(self) -> str:
+        return (f"LineageItem(id={self.id}, op={self.opcode!r}, "
+                f"data={self.data!r}, #in={len(self.inputs)})")
+
+    # ------------------------------------------------------------------
+
+    def iter_dag(self) -> Iterator["LineageItem"]:
+        """Iterate all reachable items once (non-recursive, memoized)."""
+        seen: set[int] = set()
+        stack = [self]
+        while stack:
+            item = stack.pop()
+            if id(item) in seen:
+                continue
+            seen.add(id(item))
+            yield item
+            stack.extend(item.inputs)
+
+    def num_nodes(self) -> int:
+        """Number of distinct items reachable from (and including) self."""
+        return sum(1 for _ in self.iter_dag())
+
+    def resolve(self) -> "LineageItem":
+        """Expand dedup indirections into a plain lineage DAG.
+
+        ``dedup``/``dout`` items anywhere in the DAG are expanded through
+        their lineage patches (Section 3.2, "Operations on Deduplicated
+        Graphs"); plain sub-DAGs are shared, not copied.  Iterative with
+        memoization, so deep chains of dedup items (one per loop
+        iteration) expand in linear time.
+        """
+        from repro.lineage.dedup import get_patch
+        memo: dict[int, LineageItem] = {}
+        # per-dedup-item expansion cache so sibling douts of the same
+        # iteration share one expansion
+        expansions: dict[int, dict[str, LineageItem]] = {}
+        stack: list[tuple[LineageItem, bool]] = [(self, False)]
+        while stack:
+            item, expanded = stack.pop()
+            if id(item) in memo:
+                continue
+            # a dout resolves through its dedup parent's *inputs*; the
+            # dedup node itself is dissolved by the patch expansion
+            deps = (item.inputs[0].inputs if item.opcode == "dout"
+                    else item.inputs)
+            if not expanded:
+                stack.append((item, True))
+                for child in deps:
+                    if id(child) not in memo:
+                        stack.append((child, False))
+                continue
+            children = [memo[id(c)] for c in deps]
+            if item.opcode == "dout":
+                dedup = item.inputs[0]
+                outputs = expansions.get(id(dedup))
+                if outputs is None:
+                    outputs = get_patch(dedup.data).expand(children)
+                    expansions[id(dedup)] = outputs
+                resolved = outputs[item.data]
+            elif item.opcode == "dedup":
+                outputs = get_patch(item.data).expand(children)
+                roots = [outputs[name] for name in sorted(outputs)]
+                resolved = LineageItem("bundle", roots,
+                                       ",".join(sorted(outputs)))
+            elif any(c is not o for c, o in zip(children, item.inputs)):
+                resolved = LineageItem(item.opcode, children, item.data,
+                                       hash_override=item._hash)
+            else:
+                resolved = item
+            memo[id(item)] = resolved
+        return memo[id(self)]
+
+
+def _structural_equals(a: LineageItem, b: LineageItem) -> bool:
+    """Iterative structural equality with memoization of compared pairs.
+
+    Dedup items whose hashes match are resolved on demand so normal and
+    deduplicated sub-DAGs compare equal.
+    """
+    memo: set[tuple[int, int]] = set()
+    stack: list[tuple[LineageItem, LineageItem]] = [(a, b)]
+    while stack:
+        x, y = stack.pop()
+        if x is y:
+            continue
+        key = (id(x), id(y)) if id(x) < id(y) else (id(y), id(x))
+        if key in memo:
+            continue
+        memo.add(key)
+        if x._hash != y._hash:
+            return False
+        # resolve dedup indirection when comparing against a plain item
+        if (x.opcode in ("dedup", "dout")) != (y.opcode in ("dedup", "dout")):
+            x = x.resolve()
+            y = y.resolve()
+        if x.opcode != y.opcode or x.data != y.data:
+            return False
+        if len(x.inputs) != len(y.inputs):
+            return False
+        stack.extend(zip(x.inputs, y.inputs))
+    return True
+
+
+# ---------------------------------------------------------------------------
+# literal leaves
+# ---------------------------------------------------------------------------
+
+_TYPE_TAGS = {"float": "f", "int": "i", "bool": "b", "str": "s"}
+
+
+def literal_item(value, seed: bool = False) -> LineageItem:
+    """Create a literal leaf item for a Python scalar or string.
+
+    ``seed=True`` marks the literal as a system-generated seed (``SL``) so
+    lineage deduplication can recognize and re-parameterize it (Section 3.2,
+    "Handling of Non-Determinism").
+    """
+    if isinstance(value, bool):
+        data = f"{'TRUE' if value else 'FALSE'}·b"
+    elif isinstance(value, int):
+        data = f"{value}·i"
+    elif isinstance(value, float):
+        data = f"{value!r}·f"
+    elif isinstance(value, str):
+        data = f"{value}·s"
+    else:
+        data = f"{value!r}·?"
+    return LineageItem("SL" if seed else "L", (), data)
+
+
+def parse_literal(data: str):
+    """Inverse of :func:`literal_item`: decode a literal leaf's payload."""
+    payload, _, tag = data.rpartition("·")
+    if tag == "i":
+        return int(payload)
+    if tag == "f":
+        return float(payload)
+    if tag == "b":
+        return payload == "TRUE"
+    return payload

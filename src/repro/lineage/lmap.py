@@ -1,0 +1,86 @@
+"""The per-execution-context mapping of live variables to lineage items.
+
+Every execution context (main program, function frames, parfor workers)
+maintains a :class:`LineageMap` (Section 3.1).  Variable-management
+instructions (``mvvar``, ``rmvar``, ``cpvar``) only modify this mapping;
+computation instructions add new items.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LineageError
+from repro.lineage.item import LineageItem, literal_item
+
+
+class LineageMap:
+    """Maps live variable names to lineage DAG roots."""
+
+    def __init__(self):
+        self._map: dict[str, LineageItem] = {}
+        self._literal_cache: dict[tuple, LineageItem] = {}
+
+    # ------------------------------------------------------------------
+
+    def get(self, name: str) -> LineageItem:
+        item = self._map.get(name)
+        if item is None:
+            raise LineageError(f"no lineage for variable {name!r}")
+        return item
+
+    def get_or_none(self, name: str) -> LineageItem | None:
+        return self._map.get(name)
+
+    def contains(self, name: str) -> bool:
+        return name in self._map
+
+    def set(self, name: str, item: LineageItem) -> None:
+        self._map[name] = item
+
+    def remove(self, name: str) -> None:
+        self._map.pop(name, None)
+
+    def move(self, src: str, dst: str) -> None:
+        """``mvvar src dst``: rename a live variable."""
+        item = self._map.pop(src, None)
+        if item is not None:
+            self._map[dst] = item
+
+    def copy_var(self, src: str, dst: str) -> None:
+        """``cpvar src dst``: alias lineage under a second name."""
+        item = self._map.get(src)
+        if item is not None:
+            self._map[dst] = item
+
+    def literal(self, value) -> LineageItem:
+        """Literal leaf item, cached per (type, value) as in the paper."""
+        key = (type(value).__name__, value)
+        item = self._literal_cache.get(key)
+        if item is None:
+            item = literal_item(value)
+            self._literal_cache[key] = item
+        return item
+
+    # ------------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        return list(self._map)
+
+    def snapshot(self) -> dict[str, LineageItem]:
+        return dict(self._map)
+
+    def total_nodes(self) -> int:
+        """Distinct lineage items reachable from all live variables."""
+        seen: set[int] = set()
+        count = 0
+        stack = list(self._map.values())
+        while stack:
+            item = stack.pop()
+            if id(item) in seen:
+                continue
+            seen.add(id(item))
+            count += 1
+            stack.extend(item.inputs)
+        return count
+
+    def __len__(self) -> int:
+        return len(self._map)

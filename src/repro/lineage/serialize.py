@@ -1,0 +1,195 @@
+"""Serialization and deserialization of lineage DAGs (Section 3.1).
+
+The lineage log is a line-oriented text format.  Serialization unrolls the
+DAG depth-first, one line per item, inputs serialized before their
+consumers, each item exactly once (memoized).  Deduplicated graphs are
+preserved: the dictionary of referenced lineage patches is serialized as a
+header section, so deduplication survives storage and transfer.
+
+Format::
+
+    PATCH <label> <num_inputs> <num_seeds>
+    NODE <opcode-enc> <data-enc> <ref>...      # refs: P<i> | N<j>
+    OUT <name-enc> <ref>
+    END
+    ...
+    I <id> <opcode-enc> <data-enc> <input-id>...
+
+Data strings are escaped (``\\``, tab, newline); absent data is ``-``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LineageError
+from repro.lineage.dedup import (LineagePatch, PatchNode, get_patch,
+                                 make_dedup_items, register_patch)
+from repro.lineage.item import LineageItem
+
+
+def _enc(text: str | None) -> str:
+    if text is None:
+        return "-"
+    return ("=" + text.replace("\\", "\\\\").replace("\t", "\\t")
+            .replace("\n", "\\n").replace(" ", "\\s"))
+
+
+def _dec(text: str) -> str | None:
+    if text == "-":
+        return None
+    if not text.startswith("="):
+        raise LineageError(f"malformed data field {text!r}")
+    out = []
+    i = 1
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            out.append({"\\": "\\", "t": "\t", "n": "\n",
+                        "s": " "}.get(text[i + 1], text[i + 1]))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def serialize(root: LineageItem) -> str:
+    """Serialize the DAG rooted at ``root`` into a lineage log string."""
+    lines: list[str] = []
+    patch_labels: dict[str, str] = {}
+
+    # collect items in dependency order (iterative post-order, memoized)
+    order: list[LineageItem] = []
+    seen: set[int] = set()
+    stack: list[tuple[LineageItem, bool]] = [(root, False)]
+    while stack:
+        item, expanded = stack.pop()
+        if expanded:
+            if id(item) not in seen:
+                seen.add(id(item))
+                order.append(item)
+            continue
+        if id(item) in seen:
+            continue
+        stack.append((item, True))
+        for child in item.inputs:
+            if id(child) not in seen:
+                stack.append((child, False))
+
+    # header: patches referenced by dedup items
+    for item in order:
+        if item.opcode == "dedup" and item.data not in patch_labels:
+            label = f"p{len(patch_labels)}"
+            patch_labels[item.data] = label
+            lines.extend(_serialize_patch(get_patch(item.data), label))
+
+    for item in order:
+        data = item.data
+        if item.opcode == "dedup":
+            data = patch_labels[item.data]
+        inputs = " ".join(str(inp.id) for inp in item.inputs)
+        line = f"I {item.id} {_enc(item.opcode)[1:]} {_enc(data)}"
+        lines.append(f"{line} {inputs}".rstrip())
+    return "\n".join(lines) + "\n"
+
+
+def _serialize_patch(patch: LineagePatch, label: str) -> list[str]:
+    lines = [f"PATCH {label} {patch.num_inputs} {patch.num_seeds}"]
+    for node in patch.nodes:
+        refs = " ".join(f"{kind}{idx}" for kind, idx in node.inputs)
+        line = f"NODE {_enc(node.opcode)[1:]} {_enc(node.data)}"
+        lines.append(f"{line} {refs}".rstrip())
+    for name, (kind, idx) in sorted(patch.outputs.items()):
+        lines.append(f"OUT {_enc(name)[1:]} {kind}{idx}")
+    lines.append("END")
+    return lines
+
+
+def deserialize(text: str) -> LineageItem:
+    """Rebuild a lineage DAG from a lineage log; returns the root item.
+
+    The root is the item of the last ``I`` line (serialization order puts
+    the root last).  Patches are re-registered content-addressed, so logs
+    can be exchanged between processes.
+    """
+    patches: dict[str, LineagePatch] = {}
+    items: dict[int, LineageItem] = {}
+    last: LineageItem | None = None
+
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i].strip()
+        i += 1
+        if not line:
+            continue
+        if line.startswith("PATCH "):
+            label, patch, consumed = _parse_patch(lines, i - 1)
+            patches[label] = patch
+            i = consumed
+            continue
+        if not line.startswith("I "):
+            raise LineageError(f"malformed lineage log line: {line!r}")
+        parts = line.split(" ")
+        item_id = int(parts[1])
+        opcode = _dec("=" + parts[2])
+        data = _dec(parts[3])
+        input_ids = [int(p) for p in parts[4:]]
+        try:
+            inputs = [items[iid] for iid in input_ids]
+        except KeyError as exc:
+            raise LineageError(
+                f"lineage log references unknown item {exc}") from exc
+        if opcode == "dedup":
+            patch = patches.get(data)
+            if patch is None:
+                raise LineageError(f"unknown patch label {data!r}")
+            n_seeds = patch.num_seeds
+            regular = inputs[:len(inputs) - n_seeds]
+            seeds = [_literal_int(inp) for inp in inputs[len(regular):]]
+            item, _ = make_dedup_items(patch, regular, seeds)
+        elif opcode == "dout":
+            dedup = inputs[0]
+            patch = get_patch(dedup.data)
+            resolved = [inp for inp in dedup.inputs]
+            out_hash = patch.fold_hashes(
+                [inp._hash for inp in resolved])[data]
+            item = LineageItem("dout", inputs, data, hash_override=out_hash)
+        else:
+            item = LineageItem(opcode, inputs, data)
+        items[item_id] = item
+        last = item
+    if last is None:
+        raise LineageError("empty lineage log")
+    return last
+
+
+def _literal_int(item: LineageItem) -> int:
+    from repro.lineage.item import parse_literal
+    if item.opcode not in ("L", "SL"):
+        raise LineageError("dedup seed inputs must be literals")
+    return int(parse_literal(item.data))
+
+
+def _parse_patch(lines: list[str], start: int) -> tuple[str, LineagePatch, int]:
+    header = lines[start].strip().split(" ")
+    label = header[1]
+    patch = LineagePatch(num_inputs=int(header[2]), num_seeds=int(header[3]))
+    i = start + 1
+    while i < len(lines):
+        line = lines[i].strip()
+        i += 1
+        if line == "END":
+            return label, register_patch(patch), i
+        if line.startswith("NODE "):
+            parts = line.split(" ")
+            opcode = _dec("=" + parts[1])
+            data = _dec(parts[2])
+            refs = tuple((p[0], int(p[1:])) for p in parts[3:])
+            patch.nodes.append(PatchNode(opcode, data, refs))
+        elif line.startswith("OUT "):
+            parts = line.split(" ")
+            name = _dec("=" + parts[1])
+            patch.outputs[name] = (parts[2][0], int(parts[2][1:]))
+        else:
+            raise LineageError(f"malformed patch line: {line!r}")
+    raise LineageError("unterminated PATCH section")

@@ -1,0 +1,126 @@
+"""Lineage DAG visualization and summarization utilities.
+
+Lineage is the paper's debugging substrate (Example 3); these helpers make
+traces inspectable:
+
+* :func:`to_dot` — Graphviz dot source of a lineage DAG,
+* :func:`summarize` — per-opcode counts, depth, and size of a DAG,
+* :func:`diff` — the items present in one trace but not another (the
+  "compare the production and development logs" workflow).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.lineage.item import LineageItem
+
+_LEAF_OPCODES = {"L", "SL", "input", "read", "PH"}
+
+
+def to_dot(root: LineageItem, max_nodes: int = 500,
+           name: str = "lineage") -> str:
+    """Graphviz dot source for the DAG rooted at ``root``.
+
+    Leaves (inputs, literals, seeds) are drawn as boxes, operations as
+    ellipses, dedup items as double octagons.  Rendering is truncated at
+    ``max_nodes`` items (an ellipsis node marks the cut).
+    """
+    lines = [f"digraph {name} {{", "  rankdir=BT;",
+             "  node [fontsize=10];"]
+    seen: set[int] = set()
+    stack = [root]
+    truncated = False
+    while stack:
+        item = stack.pop()
+        if id(item) in seen:
+            continue
+        if len(seen) >= max_nodes:
+            truncated = True
+            break
+        seen.add(id(item))
+        lines.append(f"  n{item.id} [{_node_attrs(item)}];")
+        for child in item.inputs:
+            lines.append(f"  n{child.id} -> n{item.id};")
+            stack.append(child)
+    if truncated:
+        lines.append('  trunc [label="..." shape=plaintext];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _node_attrs(item: LineageItem) -> str:
+    label = item.opcode
+    if item.data is not None:
+        data = item.data if len(item.data) <= 24 else item.data[:21] + "…"
+        label = f"{label}\\n{data}" if item.opcode not in ("L", "SL") \
+            else data
+    label = label.replace('"', "'")
+    if item.opcode in _LEAF_OPCODES:
+        shape = "box"
+    elif item.opcode in ("dedup", "dout"):
+        shape = "doubleoctagon"
+    else:
+        shape = "ellipse"
+    return f'label="{label}" shape={shape}'
+
+
+@dataclass
+class LineageSummary:
+    """Aggregate statistics of one lineage DAG."""
+
+    num_items: int
+    depth: int
+    opcounts: dict[str, int]
+    num_leaves: int
+    num_seeds: int
+    num_dedup: int
+
+    def __str__(self) -> str:
+        top = ", ".join(f"{op}x{n}" for op, n in sorted(
+            self.opcounts.items(), key=lambda kv: -kv[1])[:6])
+        return (f"LineageSummary(items={self.num_items}, "
+                f"depth={self.depth}, leaves={self.num_leaves}, "
+                f"seeds={self.num_seeds}, dedup={self.num_dedup}, "
+                f"top=[{top}])")
+
+
+def summarize(root: LineageItem) -> LineageSummary:
+    """Per-opcode counts, depth, and leaf statistics of a DAG."""
+    counts: Counter[str] = Counter()
+    leaves = seeds = dedups = 0
+    for item in root.iter_dag():
+        counts[item.opcode] += 1
+        if item.is_leaf:
+            leaves += 1
+        if item.opcode == "SL":
+            seeds += 1
+        if item.opcode == "dedup":
+            dedups += 1
+    return LineageSummary(
+        num_items=sum(counts.values()),
+        depth=root.height,
+        opcounts=dict(counts),
+        num_leaves=leaves,
+        num_seeds=seeds,
+        num_dedup=dedups,
+    )
+
+
+def diff(left: LineageItem, right: LineageItem) \
+        -> tuple[list[LineageItem], list[LineageItem]]:
+    """Items unique to each DAG (by structural identity).
+
+    Returns ``(only_in_left, only_in_right)``, each ordered by item id —
+    the programmatic version of diffing two lineage logs (Example 3).
+    """
+    left_items = {item: item for item in left.iter_dag()}
+    right_items = {item: item for item in right.iter_dag()}
+    only_left = [item for key, item in left_items.items()
+                 if key not in right_items]
+    only_right = [item for key, item in right_items.items()
+                  if key not in left_items]
+    only_left.sort(key=lambda i: i.id)
+    only_right.sort(key=lambda i: i.id)
+    return only_left, only_right

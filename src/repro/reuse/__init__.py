@@ -1,0 +1,6 @@
+"""Lineage-based reuse: cache, eviction, partial rewrites, multi-level."""
+
+from repro.reuse.cache import CachedOutput, LineageCache, LineageCacheEntry
+from repro.reuse.stats import CacheStats
+
+__all__ = ["LineageCache", "LineageCacheEntry", "CachedOutput", "CacheStats"]

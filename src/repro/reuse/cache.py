@@ -1,0 +1,409 @@
+"""The lineage cache: lineage traces → cached values (Section 4.1, 4.3).
+
+The cache maps lineage items (the lineage traces of values) to cached
+values wrapped in entries with metadata: status, measured computation
+time, lineage height, access tick, and reference counts.  It provides
+
+* non-blocking :meth:`LineageCache.probe` for rewrites and lookups,
+* the :meth:`acquire`/:meth:`fulfill`/:meth:`abort` protocol used on the
+  main instruction path — the first thread to miss installs a
+  *placeholder* entry; concurrent parfor workers that probe the same key
+  block on it until the value is added (Section 4.1, task-parallel loops),
+* cost-based eviction (Table 1 policies) with optional disk spilling,
+  where an object is spilled only when its re-computation time exceeds
+  the estimated I/O time, with adaptive bandwidth estimates (Section 4.3),
+* group-aware accounting: multiple entries (operation-, block-, and
+  function-level) may reference the same value object; the value's memory
+  is counted once and spilled only when its last entry is evicted.
+
+Evicted-by-deletion entries keep their metadata so that later misses
+raise their Cost&Size score and the object gets re-admitted — the
+behaviour behind Fig. 8(a).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from repro.config import LimaConfig
+from repro.data.values import MatrixValue, Value
+from repro.errors import ReuseError
+from repro.lineage.item import LineageItem
+from repro.reuse.eviction import get_policy
+from repro.reuse.stats import CacheStats
+
+
+class CachedOutput:
+    """A cached value together with its operation-level lineage root.
+
+    Block- and function-level entries must restore not only the value but
+    also the fine-grained lineage of the output, so downstream tracing
+    continues as if the block had executed.
+    """
+
+    __slots__ = ("value", "lineage")
+
+    def __init__(self, value: Value, lineage: LineageItem | None):
+        self.value = value
+        self.lineage = lineage
+
+
+class LineageCacheEntry:
+    """Cache entry metadata (statuses: placeholder/cached/spilled/evicted)."""
+
+    __slots__ = ("key", "output", "status", "compute_time", "height",
+                 "last_access", "ref_hits", "ref_misses", "size",
+                 "spill_path", "_event")
+
+    def __init__(self, key: LineageItem):
+        self.key = key
+        self.output: CachedOutput | None = None
+        self.status = "placeholder"
+        self.compute_time = 0.0
+        self.height = key.height
+        self.last_access = 0
+        self.ref_hits = 0
+        # entries are only ever created because a probe missed, so that
+        # initial miss counts: without it every fresh entry scores zero
+        # under Cost&Size and eviction degenerates to insertion order
+        self.ref_misses = 1
+        self.size = 0
+        self.spill_path: str | None = None
+        # created lazily: most placeholders are fulfilled by the same
+        # thread that reserved them, and Event construction is a
+        # measurable cost on the per-instruction hot path
+        self._event: threading.Event | None = None
+
+    @property
+    def event(self) -> threading.Event:
+        if self._event is None:
+            self._event = threading.Event()
+        return self._event
+
+    def reset_event(self) -> None:
+        self._event = None
+
+    def signal(self) -> None:
+        """Wake waiters, if any thread ever started waiting."""
+        if self._event is not None:
+            self._event.set()
+
+
+class LineageCache:
+    """Thread-safe lineage cache with cost-based eviction."""
+
+    def __init__(self, config: LimaConfig | None = None):
+        self.config = config or LimaConfig.hybrid()
+        self.stats = CacheStats()
+        self._lock = threading.RLock()  # restore() runs under the lock
+        self._map: dict[LineageItem, LineageCacheEntry] = {}
+        self._tick = 0
+        self._total = 0                       # bytes of unique cached values
+        self._value_refs: dict[int, int] = {}  # id(value) -> #cached entries
+        self._value_sizes: dict[int, int] = {}
+        self._score = get_policy(self.config.eviction_policy)
+        self._bandwidth = float(self.config.disk_bandwidth)
+        self._spill_dir: str | None = None
+        self._spill_counter = 0
+
+    # ------------------------------------------------------------------
+    # probing
+    # ------------------------------------------------------------------
+
+    def probe(self, item: LineageItem, count: bool = True) \
+            -> CachedOutput | None:
+        """Non-blocking lookup; placeholders count as misses."""
+        with self._lock:
+            if count:
+                self.stats.probes += 1
+            entry = self._map.get(item)
+            if entry is None:
+                if count:
+                    self.stats.misses += 1
+                return None
+            self._tick += 1
+            entry.last_access = self._tick
+            if entry.status == "cached":
+                entry.ref_hits += 1
+                if count:
+                    self.stats.hits += 1
+                    self.stats.saved_compute_time += entry.compute_time
+                return entry.output
+            if entry.status == "spilled":
+                self._restore(entry)
+                entry.ref_hits += 1
+                if count:
+                    self.stats.hits += 1
+                    self.stats.saved_compute_time += entry.compute_time
+                return entry.output
+            entry.ref_misses += 1
+            if count:
+                self.stats.misses += 1
+            return None
+
+    def acquire(self, item: LineageItem) \
+            -> tuple[str, CachedOutput | LineageCacheEntry | None]:
+        """Probe-or-reserve for the main instruction path.
+
+        Returns ``("hit", output)``, ``("wait", entry)`` when another
+        thread holds a placeholder for the key, or ``("reserved", None)``
+        after installing a placeholder that the caller must later
+        :meth:`fulfill` or :meth:`abort`.
+        """
+        with self._lock:
+            self.stats.probes += 1
+            entry = self._map.get(item)
+            if entry is not None:
+                self._tick += 1
+                entry.last_access = self._tick
+                if entry.status == "cached":
+                    entry.ref_hits += 1
+                    self.stats.hits += 1
+                    self.stats.saved_compute_time += entry.compute_time
+                    return "hit", entry.output
+                if entry.status == "spilled":
+                    self._restore(entry)
+                    entry.ref_hits += 1
+                    self.stats.hits += 1
+                    self.stats.saved_compute_time += entry.compute_time
+                    return "hit", entry.output
+                if entry.status == "placeholder":
+                    return "wait", entry
+                # evicted: treat as reservation by reusing the entry
+                entry.ref_misses += 1
+                self.stats.misses += 1
+                entry.status = "placeholder"
+                entry.reset_event()
+                return "reserved", None
+            self.stats.misses += 1
+            if self.config.cache_budget <= 0:
+                return "reserved", None  # LTP mode: never admit anything
+            entry = LineageCacheEntry(item)
+            self._map[item] = entry
+            return "reserved", None
+
+    def wait_for(self, entry: LineageCacheEntry,
+                 timeout: float = 300.0) -> CachedOutput | None:
+        """Block until a placeholder is fulfilled (or aborted)."""
+        with self._lock:
+            self.stats.placeholder_waits += 1
+            if entry.status == "cached":
+                # fulfilled between acquire() and wait_for()
+                self.stats.hits += 1
+                self.stats.saved_compute_time += entry.compute_time
+                entry.ref_hits += 1
+                return entry.output
+            if entry.status != "placeholder":
+                return None
+            # materialize the event under the lock so the producer's
+            # signal() cannot race with its lazy construction
+            event = entry.event
+        if not event.wait(timeout):
+            raise ReuseError("timed out waiting on a lineage cache "
+                             "placeholder (possible deadlock)")
+        with self._lock:
+            if entry.status == "cached":
+                self.stats.hits += 1
+                self.stats.saved_compute_time += entry.compute_time
+                entry.ref_hits += 1
+                return entry.output
+            if entry.status == "spilled":
+                self._restore(entry)
+                self.stats.hits += 1
+                entry.ref_hits += 1
+                return entry.output
+            return None
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+
+    def fulfill(self, item: LineageItem, value: Value,
+                lineage: LineageItem | None, compute_time: float) -> None:
+        """Fill a reservation (or insert directly) with a computed value."""
+        size = value.nbytes()
+        with self._lock:
+            if self.config.cache_budget <= 0 or \
+                    size > self.config.cache_budget:
+                self.stats.rejected += 1
+                self._drop_placeholder(item)
+                return
+            entry = self._map.get(item)
+            if entry is None:
+                entry = LineageCacheEntry(item)
+                self._map[item] = entry
+            if entry.status in ("cached", "spilled"):
+                entry.signal()
+                return  # already present (racing workers)
+            entry.output = CachedOutput(value, lineage)
+            entry.status = "cached"
+            entry.compute_time = max(compute_time, entry.compute_time)
+            entry.size = size
+            self._tick += 1
+            entry.last_access = self._tick
+            self._retain_value(value, size)
+            self.stats.puts += 1
+            entry.signal()
+            self._evict_if_needed()
+
+    def put(self, item: LineageItem, value: Value,
+            lineage: LineageItem | None, compute_time: float) -> None:
+        """Insert without a prior reservation (multi-level entries)."""
+        self.fulfill(item, value, lineage, compute_time)
+
+    def abort(self, item: LineageItem) -> None:
+        """Drop a reservation after a failed computation."""
+        with self._lock:
+            self._drop_placeholder(item)
+
+    def _drop_placeholder(self, item: LineageItem) -> None:
+        entry = self._map.get(item)
+        if entry is not None and entry.status == "placeholder":
+            del self._map[item]
+            # mark aborted *before* signalling so late waiters that have
+            # not yet created the lazy event observe the state change
+            entry.status = "aborted"
+            entry.signal()
+
+    # ------------------------------------------------------------------
+    # eviction and spilling
+    # ------------------------------------------------------------------
+
+    def _retain_value(self, value: Value, size: int) -> None:
+        vid = id(value)
+        if vid in self._value_refs:
+            self._value_refs[vid] += 1
+        else:
+            self._value_refs[vid] = 1
+            self._value_sizes[vid] = size
+            self._total += size
+
+    def _release_value(self, value: Value) -> bool:
+        """Drop one reference; True when it was the last (group empty)."""
+        vid = id(value)
+        refs = self._value_refs.get(vid, 0) - 1
+        if refs > 0:
+            self._value_refs[vid] = refs
+            return False
+        self._value_refs.pop(vid, None)
+        self._total -= self._value_sizes.pop(vid, 0)
+        return True
+
+    #: eviction hysteresis: evict down to this fraction of the budget so
+    #: the scoring pass amortizes over many admissions instead of running
+    #: (and re-sorting all entries) on every put once the cache is full
+    _LOW_WATERMARK = 0.8
+
+    def _evict_if_needed(self) -> None:
+        budget = self.config.cache_budget
+        if self._total <= budget:
+            return
+        target = int(budget * self._LOW_WATERMARK)
+        candidates = [e for e in self._map.values() if e.status == "cached"]
+        candidates.sort(key=self._score)
+        for entry in candidates:
+            if self._total <= target:
+                break
+            self._evict(entry)
+
+    def _evict(self, entry: LineageCacheEntry) -> None:
+        output = entry.output
+        last_ref = self._release_value(output.value)
+        if last_ref and self._should_spill(entry):
+            self._spill(entry)
+        else:
+            entry.output = None
+            entry.status = "evicted"
+            self.stats.evictions_deleted += 1
+
+    def _should_spill(self, entry: LineageCacheEntry) -> bool:
+        if not self.config.spill:
+            return False
+        if not isinstance(entry.output.value, MatrixValue):
+            return False
+        if entry.ref_hits + entry.ref_misses <= 1:
+            # never probed after admission (only the creation miss): no
+            # evidence of reuse potential, so deletion beats the spill I/O
+            return False
+        io_time = entry.size / max(self._bandwidth, 1.0)
+        return entry.compute_time > io_time
+
+    def _spill(self, entry: LineageCacheEntry) -> None:
+        if self._spill_dir is None:
+            self._spill_dir = (self.config.spill_dir
+                               or tempfile.mkdtemp(prefix="lima-spill-"))
+            os.makedirs(self._spill_dir, exist_ok=True)
+        self._spill_counter += 1
+        path = os.path.join(self._spill_dir, f"e{self._spill_counter}.npy")
+        start = time.perf_counter()
+        np.save(path, entry.output.value.data)
+        elapsed = time.perf_counter() - start
+        self._update_bandwidth(entry.size, elapsed)
+        self.stats.spill_time += elapsed
+        entry.spill_path = path
+        # the lineage root is kept; only the value goes to disk
+        entry.output = CachedOutput(None, entry.output.lineage)
+        entry.status = "spilled"
+        self.stats.evictions_spilled += 1
+
+    def _restore(self, entry: LineageCacheEntry) -> None:
+        start = time.perf_counter()
+        data = np.load(entry.spill_path)
+        elapsed = time.perf_counter() - start
+        self._update_bandwidth(entry.size, elapsed)
+        self.stats.restore_time += elapsed
+        self.stats.restores += 1
+        value = MatrixValue(data)
+        entry.output = CachedOutput(value, entry.output.lineage)
+        entry.status = "cached"
+        try:
+            os.unlink(entry.spill_path)
+        except OSError:
+            pass
+        entry.spill_path = None
+        self._retain_value(value, entry.size)
+        self._evict_if_needed()
+
+    def _update_bandwidth(self, size: int, elapsed: float) -> None:
+        """Exponential moving average of observed I/O bandwidth."""
+        if elapsed <= 0:
+            return
+        observed = size / elapsed
+        self._bandwidth = 0.8 * self._bandwidth + 0.2 * observed
+
+    # ------------------------------------------------------------------
+    # maintenance / introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def total_size(self) -> int:
+        with self._lock:
+            return self._total
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(1 for e in self._map.values()
+                       if e.status in ("cached", "spilled"))
+
+    def entries(self) -> list[LineageCacheEntry]:
+        with self._lock:
+            return list(self._map.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            for entry in self._map.values():
+                if entry.spill_path:
+                    try:
+                        os.unlink(entry.spill_path)
+                    except OSError:
+                        pass
+                entry.signal()
+            self._map.clear()
+            self._value_refs.clear()
+            self._value_sizes.clear()
+            self._total = 0

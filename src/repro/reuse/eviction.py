@@ -1,0 +1,54 @@
+"""Cache eviction policies and scoring functions (paper Table 1).
+
+==============  ==========================================================
+Policy          Eviction scoring function (evict the argmin)
+==============  ==========================================================
+LRU             ``Ta(o) / θ`` — normalized last-access timestamp
+DAG-Height      ``1 / h(o)`` — deep lineage assumed to have less reuse
+                potential, so the *largest* height is evicted first
+Cost & Size     ``(rh + rm) · c(o) / s(o)`` — preserve objects with a high
+                compute-cost-to-size ratio, scaled by #accesses
+==============  ==========================================================
+
+``Cost & Size`` is the default, as in the paper (robust across pipelines
+with temporal locality and mini-batch slicing alike).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.reuse.cache import LineageCacheEntry
+
+
+def lru_score(entry: "LineageCacheEntry") -> float:
+    """LRU: oldest last access evicts first (θ normalization is monotone
+    and does not change the argmin, so the raw timestamp suffices)."""
+    return entry.last_access
+
+
+def dag_height_score(entry: "LineageCacheEntry") -> float:
+    """DAG-Height: evict the deepest lineage first (argmin of 1/h)."""
+    return 1.0 / (1.0 + entry.height)
+
+
+def cost_size_score(entry: "LineageCacheEntry") -> float:
+    """Cost & Size: evict the lowest (rh + rm) * c(o) / s(o) first."""
+    accesses = entry.ref_hits + entry.ref_misses
+    size = max(entry.size, 1)
+    return accesses * entry.compute_time / size
+
+
+POLICIES: dict[str, Callable[["LineageCacheEntry"], float]] = {
+    "lru": lru_score,
+    "dagheight": dag_height_score,
+    "costsize": cost_size_score,
+}
+
+
+def get_policy(name: str) -> Callable[["LineageCacheEntry"], float]:
+    try:
+        return POLICIES[name]
+    except KeyError:
+        raise ValueError(f"unknown eviction policy {name!r}") from None

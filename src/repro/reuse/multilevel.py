@@ -1,0 +1,44 @@
+"""Multi-level reuse of functions and blocks (Section 4.1).
+
+Multi-level reuse leverages the hierarchical program structure as natural
+probing and reuse points: before interpreting a deterministic function or
+a compute-heavy basic block, a special lineage item representing the call
+(inputs + callee) is probed; a hit binds all outputs at once, skipping the
+whole sub-program — avoiding both interpretation overhead and cache
+pollution from intermediate results.
+
+Cache keys:
+
+* ``fcall:<name>`` item over the argument lineages, with per-output
+  ``fout`` items (data = output name),
+* ``bcall`` item over the sorted block-input lineages (data = a stable
+  block signature), with per-output ``bout`` items.
+
+Entries store each output's *value and operation-level lineage root*, so a
+hit restores the fine-grained lineage exactly as if the body had executed.
+"""
+
+from __future__ import annotations
+
+from repro.lineage.item import LineageItem
+
+
+def function_call_item(fname: str, arg_items: list[LineageItem]) \
+        -> LineageItem:
+    """The special lineage item representing one function invocation."""
+    return LineageItem(f"fcall:{fname}", arg_items)
+
+
+def function_output_item(call_item: LineageItem, output: str) \
+        -> LineageItem:
+    return LineageItem("fout", [call_item], output)
+
+
+def block_call_item(signature: str, input_items: list[LineageItem]) \
+        -> LineageItem:
+    """The special lineage item representing one block execution."""
+    return LineageItem("bcall", input_items, signature)
+
+
+def block_output_item(call_item: LineageItem, output: str) -> LineageItem:
+    return LineageItem("bout", [call_item], output)

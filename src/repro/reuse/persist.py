@@ -1,0 +1,114 @@
+"""Persistent materialization of the lineage cache (paper Section 4.5).
+
+The paper leaves cross-process reuse as future work ("would require
+extensions for speculative materialization and cleanup"); this module
+implements the storage layer: cached operation-level entries are saved to
+an ``.npz`` archive keyed by their serialized lineage, and can be loaded
+into a fresh cache in another process.
+
+Because lineage logs are self-contained (content-fingerprinted input
+leaves, content-addressed dedup patches) and hashes are recomputed on
+deserialization, a warm-started cache hits exactly when the same inputs
+produce the same traces — across process boundaries.
+
+Only operation-level entries are persisted: block-level keys embed
+process-local block identities and are skipped; function-level (``fcall``)
+keys are stable and included.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import zipfile
+
+import numpy as np
+
+from repro.data.values import MatrixValue, ScalarValue
+from repro.errors import ReuseError
+from repro.lineage.serialize import deserialize, serialize
+from repro.reuse.cache import LineageCache
+
+_MANIFEST = "manifest.json"
+_FORMAT_VERSION = 1
+
+
+def _persistable(entry) -> bool:
+    if entry.status != "cached":
+        return False
+    if not isinstance(entry.output.value, (MatrixValue, ScalarValue)):
+        return False
+    # block-level keys embed process-local block ids
+    if any(item.opcode == "bcall" for item in entry.key.iter_dag()):
+        return False
+    return True
+
+
+def save_cache(cache: LineageCache, path: str,
+               min_compute_time: float = 0.0) -> int:
+    """Persist cached entries to ``path`` (a zip/npz-style archive).
+
+    Entries with measured compute time below ``min_compute_time`` are
+    skipped (cheap results are not worth the I/O — the same cost model as
+    spilling).  Returns the number of entries written.
+    """
+    records = []
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as archive:
+        for index, entry in enumerate(cache.entries()):
+            if not _persistable(entry):
+                continue
+            if entry.compute_time < min_compute_time:
+                continue
+            value = entry.output.value
+            record = {
+                "key": serialize(entry.key),
+                "compute_time": entry.compute_time,
+                "ref_hits": entry.ref_hits,
+            }
+            if isinstance(value, MatrixValue):
+                record["kind"] = "matrix"
+                record["array"] = f"v{index}.npy"
+                buffer = io.BytesIO()
+                np.save(buffer, value.data)
+                archive.writestr(record["array"], buffer.getvalue())
+            else:
+                record["kind"] = "scalar"
+                record["value"] = value.value
+            if entry.output.lineage is not None \
+                    and entry.output.lineage is not entry.key:
+                record["lineage"] = serialize(entry.output.lineage)
+            records.append(record)
+        manifest = {"version": _FORMAT_VERSION, "entries": records}
+        archive.writestr(_MANIFEST, json.dumps(manifest))
+    return len(records)
+
+
+def load_cache(cache: LineageCache, path: str) -> int:
+    """Warm-start ``cache`` from an archive written by :func:`save_cache`.
+
+    Returns the number of entries admitted (the cache's budget and
+    eviction policy still apply).
+    """
+    admitted = 0
+    with zipfile.ZipFile(path, "r") as archive:
+        try:
+            manifest = json.loads(archive.read(_MANIFEST))
+        except KeyError as exc:
+            raise ReuseError(f"{path!r} is not a lineage cache archive") \
+                from exc
+        if manifest.get("version") != _FORMAT_VERSION:
+            raise ReuseError(
+                f"unsupported cache archive version "
+                f"{manifest.get('version')!r}")
+        for record in manifest["entries"]:
+            key = deserialize(record["key"])
+            if record["kind"] == "matrix":
+                data = np.load(io.BytesIO(archive.read(record["array"])))
+                value = MatrixValue(data)
+            else:
+                value = ScalarValue(record["value"])
+            lineage = (deserialize(record["lineage"])
+                       if "lineage" in record else key)
+            cache.put(key, value, lineage, record["compute_time"])
+            admitted += 1
+    return admitted

@@ -1,0 +1,49 @@
+"""Runtime statistics of the lineage cache (Section 5.1).
+
+Counters are updated under the cache lock; reading is lock-free and meant
+for reporting, not for synchronization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed by :class:`~repro.reuse.cache.LineageCache`."""
+
+    probes: int = 0
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    rejected: int = 0          # too large / zero budget
+    evictions_deleted: int = 0
+    evictions_spilled: int = 0
+    restores: int = 0
+    partial_probes: int = 0
+    partial_hits: int = 0
+    multilevel_hits: int = 0
+    placeholder_waits: int = 0
+    #: seconds of measured compute time saved by full reuse hits
+    saved_compute_time: float = 0.0
+    #: seconds spent on spill writes / restores
+    spill_time: float = 0.0
+    restore_time: float = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+    def reset(self) -> None:
+        for name, f in self.__dataclass_fields__.items():
+            setattr(self, name, f.default)
+
+    def __str__(self) -> str:
+        return (f"CacheStats(probes={self.probes}, hits={self.hits}, "
+                f"misses={self.misses}, puts={self.puts}, "
+                f"evict_del={self.evictions_deleted}, "
+                f"evict_spill={self.evictions_spilled}, "
+                f"restores={self.restores}, "
+                f"partial={self.partial_hits}/{self.partial_probes}, "
+                f"multilevel={self.multilevel_hits}, "
+                f"saved={self.saved_compute_time:.3f}s)")

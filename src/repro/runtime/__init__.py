@@ -1,0 +1,6 @@
+"""Instruction-based runtime: execution contexts, interpreter, parfor.
+
+Submodules are imported directly (``repro.runtime.context``,
+``repro.runtime.interpreter``) to keep import order acyclic between the
+compiler, lineage, and runtime packages.
+"""

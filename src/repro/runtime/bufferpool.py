@@ -1,0 +1,171 @@
+"""Buffer pool for live variables (paper Fig. 2, Section 4.5).
+
+SystemDS manages live matrices through a buffer pool that can evict them
+to disk under memory pressure; the lineage cache is a *separate* memory
+region (the paper's Section 4.5 notes the static partitioning between the
+two as a limitation).  This module reproduces that substrate: a
+:class:`BufferPool` tracks the in-memory size of live symbol-table
+matrices and transparently spills the least-recently-used ones to disk,
+restoring them on access.
+
+The pool is optional (``LimaConfig.buffer_pool_budget = None`` disables
+it) and deliberately conservative: only matrices above a small size
+threshold participate, and values may still be referenced elsewhere
+(e.g. by the lineage cache), in which case spilling frees no memory —
+the same aliasing caveat real buffer pools have.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+
+import numpy as np
+
+from repro.data.values import MatrixValue, Value
+
+#: matrices smaller than this never participate (spilling them costs more
+#: than it frees)
+MIN_SPILL_BYTES = 64 * 1024
+
+
+class SpilledHandle(Value):
+    """Placeholder stored in a symbol table for a spilled matrix."""
+
+    kind = "spilled"
+    __slots__ = ("path", "size")
+
+    def __init__(self, path: str, size: int):
+        self.path = path
+        self.size = size
+
+    def nbytes(self) -> int:
+        return 64
+
+    def __repr__(self) -> str:
+        return f"SpilledHandle({self.path})"
+
+
+class BufferPool:
+    """LRU spill/restore management for live matrices."""
+
+    def __init__(self, budget: int, directory: str | None = None):
+        self.budget = int(budget)
+        self._lock = threading.RLock()
+        self._dir = directory
+        self._tick = 0
+        self._counter = 0
+        # id(value) -> [value-ref, size, last-access tick]
+        self._resident: dict[int, list] = {}
+        self.spills = 0
+        self.restores = 0
+
+    # ------------------------------------------------------------------
+
+    def on_set(self, value: Value) -> None:
+        """Account a value bound into a symbol table."""
+        if not isinstance(value, MatrixValue):
+            return
+        size = value.nbytes()
+        if size < MIN_SPILL_BYTES:
+            return
+        with self._lock:
+            self._tick += 1
+            entry = self._resident.get(id(value))
+            if entry is not None:
+                entry[2] = self._tick
+                return
+            self._resident[id(value)] = [value, size, self._tick]
+
+    def on_get(self, value: Value):
+        """Touch (and possibly restore) a value read from a symbol table.
+
+        Returns the value to hand out: the same object for resident
+        matrices, a restored :class:`MatrixValue` for spilled handles.
+        """
+        if isinstance(value, SpilledHandle):
+            return self.restore(value)
+        with self._lock:
+            entry = self._resident.get(id(value))
+            if entry is not None:
+                self._tick += 1
+                entry[2] = self._tick
+        return value
+
+    def total_resident(self) -> int:
+        with self._lock:
+            return sum(entry[1] for entry in self._resident.values())
+
+    # ------------------------------------------------------------------
+
+    def evict_if_needed(self, symbols) -> int:
+        """Spill LRU matrices of ``symbols`` until within budget.
+
+        Called by the symbol table after binding a new value.  Returns
+        the number of variables spilled.
+        """
+        with self._lock:
+            total = sum(e[1] for e in self._resident.values())
+            if total <= self.budget:
+                return 0
+            # oldest first
+            order = sorted(self._resident.values(), key=lambda e: e[2])
+            by_id = {id(e[0]): e for e in order}
+            spilled = 0
+            # map value identity -> variable names bound to it
+            names_of: dict[int, list[str]] = {}
+            for name in symbols.names():
+                value = symbols.get_or_none(name)
+                if value is not None and id(value) in by_id:
+                    names_of.setdefault(id(value), []).append(name)
+            for entry in order:
+                if total <= self.budget:
+                    break
+                value, size, _ = entry
+                names = names_of.get(id(value))
+                if not names:
+                    continue  # not bound here (other scope owns it)
+                handle = self._spill(value, size)
+                for name in names:
+                    symbols.replace_raw(name, handle)
+                self._resident.pop(id(value), None)
+                total -= size
+                spilled += 1
+            return spilled
+
+    def _spill(self, value: MatrixValue, size: int) -> SpilledHandle:
+        if self._dir is None:
+            self._dir = tempfile.mkdtemp(prefix="lima-bufferpool-")
+        self._counter += 1
+        path = os.path.join(self._dir, f"v{self._counter}.npy")
+        np.save(path, value.data)
+        self.spills += 1
+        return SpilledHandle(path, size)
+
+    def restore(self, handle: SpilledHandle) -> MatrixValue:
+        with self._lock:
+            value = MatrixValue(np.load(handle.path))
+            self.restores += 1
+            self._tick += 1
+            self._resident[id(value)] = [value, handle.size, self._tick]
+            try:
+                os.unlink(handle.path)
+            except OSError:
+                pass
+            return value
+
+    def release(self, value: Value) -> None:
+        """Drop accounting for a value removed from a symbol table."""
+        with self._lock:
+            self._resident.pop(id(value), None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._resident.clear()
+            if self._dir and os.path.isdir(self._dir):
+                for name in os.listdir(self._dir):
+                    try:
+                        os.unlink(os.path.join(self._dir, name))
+                    except OSError:
+                        pass

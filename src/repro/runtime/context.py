@@ -1,0 +1,191 @@
+"""Execution contexts and symbol tables.
+
+An :class:`ExecutionContext` corresponds to one scope of execution: the
+main program, a function frame, or a parfor worker.  Each context owns a
+symbol table of live variables and — thread- and function-locally, as in
+the paper (Section 3.1) — a lineage map.  The lineage cache, configuration,
+seed source, and output buffer are shared across contexts of a session.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from repro.data.values import Value
+from repro.errors import LimaRuntimeError
+from repro.lineage.lmap import LineageMap
+
+if TYPE_CHECKING:
+    from repro.lineage.dedup import DedupTracker
+    from repro.runtime.interpreter import Interpreter
+
+
+class SymbolTable:
+    """Live-variable table (paper Fig. 2): name → runtime value.
+
+    With a :class:`~repro.runtime.bufferpool.BufferPool` attached, large
+    live matrices are spilled to disk under memory pressure and restored
+    transparently on access.
+    """
+
+    def __init__(self, initial: dict[str, Value] | None = None,
+                 pool=None):
+        self._map: dict[str, Value] = dict(initial or {})
+        self._pool = pool
+
+    def get(self, name: str) -> Value:
+        value = self._map.get(name)
+        if value is None:
+            raise LimaRuntimeError(f"undefined variable {name!r}")
+        if self._pool is not None:
+            restored = self._pool.on_get(value)
+            if restored is not value:
+                self._map[name] = restored
+            return restored
+        return value
+
+    def get_or_none(self, name: str) -> Value | None:
+        value = self._map.get(name)
+        if value is not None and self._pool is not None:
+            restored = self._pool.on_get(value)
+            if restored is not value:
+                self._map[name] = restored
+            return restored
+        return value
+
+    def set(self, name: str, value: Value) -> None:
+        self._map[name] = value
+        if self._pool is not None:
+            self._pool.on_set(value)
+            self._pool.evict_if_needed(self)
+
+    def replace_raw(self, name: str, value: Value) -> None:
+        """Swap a binding without pool accounting (spill internals)."""
+        self._map[name] = value
+
+    def remove(self, name: str) -> None:
+        value = self._map.pop(name, None)
+        if value is not None and self._pool is not None:
+            self._pool.release(value)
+
+    def move(self, src: str, dst: str) -> None:
+        value = self._map.pop(src, None)
+        if value is not None:
+            self._map[dst] = value
+
+    def copy_var(self, src: str, dst: str) -> None:
+        value = self._map.get(src)
+        if value is None:
+            raise LimaRuntimeError(f"undefined variable {src!r}")
+        self._map[dst] = value
+
+    def contains(self, name: str) -> bool:
+        return name in self._map
+
+    def names(self) -> list[str]:
+        return list(self._map)
+
+    def snapshot(self) -> dict[str, Value]:
+        return dict(self._map)
+
+
+class SeedSource:
+    """Deterministic, thread-safe source of system-generated seeds.
+
+    Seeds drawn here are recorded in lineage items, which is what makes
+    ``rand``/``sample`` reproducible from lineage (Section 3.1).
+    """
+
+    def __init__(self, base_seed: int):
+        self._base = int(base_seed)
+        self._counter = 0
+        self._lock = threading.Lock()
+
+    def next(self) -> int:
+        with self._lock:
+            self._counter += 1
+            count = self._counter
+        # SplitMix64-style mix for well-spread, reproducible seeds
+        z = (self._base + count * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        return (z ^ (z >> 31)) & 0x7FFFFFFF
+
+    def spawn(self, tag: int) -> "SeedSource":
+        """Independent child source (for parfor workers)."""
+        return SeedSource(self._base * 1000003 + tag)
+
+
+class ExecutionContext:
+    """One execution scope: symbols, lineage map, shared services."""
+
+    def __init__(self, interpreter: "Interpreter",
+                 symbols: SymbolTable | None = None,
+                 lineage: LineageMap | None = None,
+                 seeds: SeedSource | None = None,
+                 output: list[str] | None = None):
+        self.interpreter = interpreter
+        self.config = interpreter.config
+        self.cache = interpreter.cache
+        pool = getattr(interpreter, "buffer_pool", None)
+        self.symbols = symbols if symbols is not None \
+            else SymbolTable(pool=pool)
+        self.lineage = lineage if lineage is not None else LineageMap()
+        self.seeds = seeds if seeds is not None else SeedSource(0)
+        self.output = output if output is not None else []
+        #: active dedup tracker while tracing inside a dedup'd loop
+        self.dedup_tracker: "DedupTracker | None" = None
+        #: lineage tracing suppressed (dedup fast mode)
+        self.lineage_suppressed = False
+        #: parfor workers record left-index updates here for result merge
+        self.leftindex_log: list | None = None
+        #: True inside a parfor worker (disables loop dedup, whose
+        #: trackers are per-loop-block and not thread-safe)
+        self.in_parfor_worker = False
+
+    @property
+    def lineage_active(self) -> bool:
+        return self.config.lineage and not self.lineage_suppressed
+
+    def next_seed(self) -> int:
+        return self.seeds.next()
+
+    def emit(self, text: str) -> None:
+        """Append a line to the session's print buffer."""
+        self.output.append(text)
+
+    def child_frame(self) -> "ExecutionContext":
+        """Fresh frame for a function call: own symbols and lineage map."""
+        child = ExecutionContext(self.interpreter,
+                                 symbols=SymbolTable(pool=self.symbols._pool),
+                                 lineage=LineageMap(),
+                                 seeds=self.seeds,
+                                 output=self.output)
+        return child
+
+    def worker_copy(self, tag: int) -> "ExecutionContext":
+        """Isolated copy for a parfor worker (Section 3.3).
+
+        Symbols are shallow-copied (values are immutable by convention);
+        the lineage map is copied so worker graphs share common input
+        lineage; the seed source is an independent spawn so workers are
+        deterministic regardless of scheduling.
+        """
+        worker = ExecutionContext(self.interpreter,
+                                  symbols=SymbolTable(
+                                      self.symbols.snapshot(),
+                                      pool=self.symbols._pool),
+                                  lineage=_copy_lineage(self.lineage),
+                                  seeds=self.seeds.spawn(tag),
+                                  output=self.output)
+        worker.leftindex_log = []
+        worker.in_parfor_worker = True
+        return worker
+
+
+def _copy_lineage(lineage: LineageMap) -> LineageMap:
+    copy = LineageMap()
+    for name, item in lineage.snapshot().items():
+        copy.set(name, item)
+    return copy

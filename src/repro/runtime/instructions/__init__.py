@@ -1,0 +1,42 @@
+"""Runtime instruction classes (the CP instruction set)."""
+
+from repro.runtime.instructions.base import Instruction, Operand
+from repro.runtime.instructions.cp import (
+    ComputeInstruction,
+    DataGenInstruction,
+    EvalInstruction,
+    FunctionCallInstruction,
+    IndexInstruction,
+    LeftIndexInstruction,
+    LineageOfInstruction,
+    ListInstruction,
+    MultiReturnInstruction,
+    PrintInstruction,
+    ReadInstruction,
+    StopIfInstruction,
+    StopInstruction,
+    VariableInstruction,
+    WriteInstruction,
+)
+from repro.runtime.instructions.fused import FusedInstruction
+
+__all__ = [
+    "Instruction",
+    "Operand",
+    "ComputeInstruction",
+    "DataGenInstruction",
+    "EvalInstruction",
+    "FunctionCallInstruction",
+    "IndexInstruction",
+    "LeftIndexInstruction",
+    "ListInstruction",
+    "MultiReturnInstruction",
+    "LineageOfInstruction",
+    "PrintInstruction",
+    "ReadInstruction",
+    "StopIfInstruction",
+    "StopInstruction",
+    "VariableInstruction",
+    "WriteInstruction",
+    "FusedInstruction",
+]

@@ -1,0 +1,103 @@
+"""Instruction and operand base classes.
+
+The runtime executes linearized sequences of instructions per last-level
+program block (paper Fig. 2).  Instructions read operands from the symbol
+table, compute outputs, and write them back.  Every instruction implements
+the ``LineageTraceable`` contract: :meth:`Instruction.lineage` returns the
+lineage items of its outputs *before* execution, which is what enables
+cache probing prior to computing (Section 3.1, footnote 2).
+
+The interpreter drives each instruction through three phases::
+
+    state = inst.preprocess(ctx)      # e.g. draw a system seed
+    items = inst.lineage(ctx, state)  # {output name: lineage item}
+    inst.execute(ctx, state)          # compute and bind outputs
+
+so non-determinism (seeds) is fixed before tracing and execution.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.data.values import Value, wrap
+from repro.lineage.item import LineageItem
+
+if TYPE_CHECKING:
+    from repro.runtime.context import ExecutionContext
+
+
+class Operand:
+    """An instruction operand: a variable reference or a literal."""
+
+    __slots__ = ("name", "value", "is_literal")
+
+    def __init__(self, name: str | None = None, value=None,
+                 is_literal: bool = False):
+        self.name = name
+        self.is_literal = is_literal
+        self.value = value
+
+    @staticmethod
+    def var(name: str) -> "Operand":
+        return Operand(name=name)
+
+    @staticmethod
+    def lit(value) -> "Operand":
+        return Operand(value=value, is_literal=True)
+
+    def resolve(self, ctx: "ExecutionContext") -> Value:
+        """The runtime value of this operand."""
+        if self.is_literal:
+            return wrap(self.value)
+        return ctx.symbols.get(self.name)
+
+    def lineage(self, ctx: "ExecutionContext") -> LineageItem:
+        """The lineage item of this operand."""
+        if self.is_literal:
+            return ctx.lineage.literal(self.value)
+        return ctx.lineage.get(self.name)
+
+    def __repr__(self) -> str:
+        if self.is_literal:
+            return f"lit({self.value!r})"
+        return f"var({self.name})"
+
+
+class Instruction:
+    """Base class of all runtime instructions."""
+
+    #: opcode string used in plans, lineage items, and reuse configuration
+    opcode: str = "nop"
+    #: whether outputs may be admitted to the lineage cache
+    reusable: bool = False
+
+    def __init__(self, line: int = 0):
+        self.line = line
+        #: compiler assistance may unmark specific instances (Section 4.4)
+        self.unmarked = False
+
+    @property
+    def outputs(self) -> list[str]:
+        """Names of output variables (possibly empty)."""
+        return []
+
+    def input_names(self) -> list[str]:
+        """Names of variable operands read by this instruction."""
+        return []
+
+    def preprocess(self, ctx: "ExecutionContext"):
+        """Fix per-execution state (e.g. seeds) before tracing/execution."""
+        return None
+
+    def lineage(self, ctx: "ExecutionContext", state) \
+            -> dict[str, LineageItem]:
+        """Lineage items of outputs, computed before execution."""
+        return {}
+
+    def execute(self, ctx: "ExecutionContext", state) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        outs = ",".join(self.outputs)
+        return f"<{type(self).__name__} {self.opcode} -> {outs}>"

@@ -1,0 +1,130 @@
+"""Fused cell-wise operators produced by the codegen pass (Section 3.3).
+
+A fused operator evaluates a whole tree of elementwise operations in one
+instruction, avoiding materialized intermediates.  Fusion normally loses
+operator semantics for lineage; LIMA's fix is to construct the *lineage
+patch* of the fused operator at compilation time and expand it during
+tracing, so the traced lineage is identical to unfused execution.
+
+The template is a tree of nodes::
+
+    ("in", slot)           — the slot-th input operand
+    ("lit", value)         — a literal
+    (opcode, child...)     — a unary or binary elementwise op
+
+Templates are evaluated directly on NumPy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.values import MatrixValue, ScalarValue, Value
+from repro.errors import LimaRuntimeError
+from repro.lineage.item import LineageItem, literal_item
+from repro.runtime import kernels as K
+from repro.runtime.instructions.base import Instruction, Operand
+
+_NUMPY_BINARY = dict(K._BINARY_NUMERIC)
+_NUMPY_BINARY.update(K._BINARY_COMPARE)
+_NUMPY_BINARY["&"] = lambda a, b: np.logical_and(a != 0, b != 0)
+_NUMPY_BINARY["|"] = lambda a, b: np.logical_or(a != 0, b != 0)
+_NUMPY_UNARY = dict(K._UNARY)
+
+
+def template_signature(template) -> str:
+    """Stable textual signature of a fusion template (for lineage data)."""
+    kind = template[0]
+    if kind == "in":
+        return f"${template[1]}"
+    if kind == "lit":
+        return repr(template[1])
+    children = ",".join(template_signature(c) for c in template[1:])
+    return f"{kind}({children})"
+
+
+def evaluate_template(template, inputs: list) -> np.ndarray | float:
+    """Evaluate a template on raw ndarray/scalar inputs."""
+    kind = template[0]
+    if kind == "in":
+        return inputs[template[1]]
+    if kind == "lit":
+        return template[1]
+    args = [evaluate_template(c, inputs) for c in template[1:]]
+    if len(args) == 2:
+        fn = _NUMPY_BINARY.get(kind)
+        if fn is None:
+            raise LimaRuntimeError(f"unfusable binary opcode {kind!r}")
+        return fn(*args)
+    fn = _NUMPY_UNARY.get(kind)
+    if fn is None:
+        raise LimaRuntimeError(f"unfusable unary opcode {kind!r}")
+    return fn(args[0])
+
+
+def expand_template(template, input_items: list[LineageItem],
+                    literal_cache: dict) -> LineageItem:
+    """Expand a fusion template into plain lineage items.
+
+    This is the lineage-patch expansion of Section 3.3: the traced lineage
+    of a fused operator equals the lineage of the unfused operations.
+    """
+    kind = template[0]
+    if kind == "in":
+        return input_items[template[1]]
+    if kind == "lit":
+        value = template[1]
+        key = (type(value).__name__, value)
+        item = literal_cache.get(key)
+        if item is None:
+            item = literal_item(value)
+            literal_cache[key] = item
+        return item
+    children = [expand_template(c, input_items, literal_cache)
+                for c in template[1:]]
+    return LineageItem(kind, children)
+
+
+class FusedInstruction(Instruction):
+    """A code-generated cell-wise fused operator."""
+
+    opcode = "fused"
+    reusable = True
+
+    def __init__(self, template, operands: list[Operand], output: str,
+                 line: int = 0):
+        super().__init__(line)
+        self.template = template
+        self.operands = operands
+        self.output = output
+        self.signature = template_signature(template)
+
+    @property
+    def outputs(self) -> list[str]:
+        return [self.output]
+
+    def input_names(self) -> list[str]:
+        return [op.name for op in self.operands if not op.is_literal]
+
+    def lineage(self, ctx, state) -> dict[str, LineageItem]:
+        input_items = [op.lineage(ctx) for op in self.operands]
+        item = expand_template(self.template, input_items, {})
+        return {self.output: item}
+
+    def execute(self, ctx, state) -> None:
+        raw = []
+        for op in self.operands:
+            value = op.resolve(ctx)
+            if isinstance(value, MatrixValue):
+                raw.append(value.data)
+            elif isinstance(value, ScalarValue):
+                raw.append(value.as_float())
+            else:
+                raise LimaRuntimeError(
+                    f"fused operator input must be numeric, got {value.kind}")
+        result = evaluate_template(self.template, raw)
+        if isinstance(result, np.ndarray) and result.ndim >= 1:
+            out: Value = MatrixValue(result.astype(np.float64, copy=False))
+        else:
+            out = ScalarValue(float(result))
+        ctx.symbols.set(self.output, out)

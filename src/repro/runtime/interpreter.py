@@ -1,0 +1,694 @@
+"""The instruction interpreter with integrated lineage tracing and reuse.
+
+Executes compiled programs block by block.  Per instruction, the main code
+path is (Sections 3.1 and 4.1):
+
+1. ``preprocess`` — fix non-determinism (draw system seeds),
+2. trace lineage *before* execution,
+3. probe the lineage cache for **full reuse** (acquire/fulfill protocol so
+   concurrent parfor workers block on placeholders instead of recomputing),
+4. probe **partial-reuse** rewrites with compensation plans,
+5. execute the kernel, measure its time, and admit the output.
+
+The interpreter also drives multi-level reuse (function and block level),
+lineage deduplication of last-level loops (local tracing over placeholder
+leaves, control-path bitvectors, fast mode once all paths have patches),
+and hands ``parfor`` loops to the task-parallel executor.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.compiler.program import (BasicBlock, ForBlock, FunctionProgram,
+                                    IfBlock, Program, ProgramBlock,
+                                    WhileBlock)
+from repro.config import LimaConfig
+from repro.data.values import ListValue, ScalarValue, StringValue, Value
+from repro.errors import LimaRuntimeError
+from repro.lineage.dedup import DedupTracker, make_dedup_items
+from repro.lineage.item import LineageItem, literal_item
+from repro.lineage.lmap import LineageMap
+from repro.reuse.cache import LineageCache
+from repro.reuse.multilevel import (block_call_item, block_output_item,
+                                    function_call_item, function_output_item)
+from repro.reuse.partial import try_partial_reuse
+from repro.runtime import kernels as K
+from repro.runtime.context import ExecutionContext, SeedSource
+from repro.runtime.instructions.base import Operand
+from repro.runtime.instructions.cp import (ComputeInstruction,
+                                           DataGenInstruction,
+                                           EvalInstruction,
+                                           FunctionCallInstruction,
+                                           IndexInstruction,
+                                           LeftIndexInstruction,
+                                           MultiReturnInstruction,
+                                           VariableInstruction)
+
+#: dedup is skipped for bodies with more branches than this — the number
+#: of potential patches is exponential in the branch count (Section 3.2)
+_MAX_DEDUP_BRANCHES = 10
+
+
+class Interpreter:
+    """Executes a compiled :class:`Program` under a :class:`LimaConfig`."""
+
+    def __init__(self, program: Program, config: LimaConfig,
+                 cache: LineageCache | None = None,
+                 output: list[str] | None = None,
+                 base_seed: int = 42):
+        config.validate()
+        self.program = program
+        self.config = config
+        self.cache = cache if cache is not None else (
+            LineageCache(config) if config.reuse_enabled else None)
+        self.output = output if output is not None else []
+        self.base_seed = base_seed
+        # scalar value-numbering: when reuse is on, a computed scalar's
+        # lineage is rebound to its literal value (as in SystemDS), so
+        # value-equal hyper-parameters match regardless of how they were
+        # computed — this is what lets lmDS calls with the same (reg,
+        # icpt) reuse across different tol configs (paper Section 2.3)
+        self._scalarize = config.reuse_enabled
+        if config.buffer_pool_budget is not None:
+            from repro.runtime.bufferpool import BufferPool
+            self.buffer_pool = BufferPool(config.buffer_pool_budget)
+        else:
+            self.buffer_pool = None
+        import threading
+        self._compile_lock = threading.Lock()
+        # dedup trackers persist per loop block, so re-entering a loop
+        # (e.g. per epoch) reuses its lineage patches instead of re-tracing
+        self._dedup_trackers: dict[int, DedupTracker] = {}
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+
+    def new_root_context(self) -> ExecutionContext:
+        return ExecutionContext(self,
+                                seeds=SeedSource(self.base_seed),
+                                output=self.output)
+
+    def run(self, bindings: dict[str, tuple[Value, LineageItem]]
+            | None = None) -> ExecutionContext:
+        """Execute the program; returns the final root context."""
+        ctx = self.new_root_context()
+        for name, (value, item) in (bindings or {}).items():
+            ctx.symbols.set(name, value)
+            if self.config.lineage:
+                ctx.lineage.set(name, item)
+        self.execute_blocks(ctx, self.program.blocks)
+        return ctx
+
+    # ------------------------------------------------------------------
+    # block dispatch
+    # ------------------------------------------------------------------
+
+    def execute_blocks(self, ctx: ExecutionContext,
+                       blocks: list[ProgramBlock]) -> None:
+        for block in blocks:
+            self.execute_block(ctx, block)
+
+    def execute_block(self, ctx: ExecutionContext,
+                      block: ProgramBlock) -> None:
+        if isinstance(block, BasicBlock):
+            self.execute_basic(ctx, block)
+        elif isinstance(block, IfBlock):
+            self.execute_if(ctx, block)
+        elif isinstance(block, ForBlock):
+            self.execute_for(ctx, block)
+        elif isinstance(block, WhileBlock):
+            self.execute_while(ctx, block)
+        else:
+            raise LimaRuntimeError(f"unknown block type {type(block)}")
+
+    # ------------------------------------------------------------------
+    # basic blocks (with block-level multi-level reuse)
+    # ------------------------------------------------------------------
+
+    def execute_basic(self, ctx: ExecutionContext,
+                      block: BasicBlock) -> None:
+        if (self.config.reuse_multilevel and self.cache is not None
+                and ctx.lineage_active and ctx.dedup_tracker is None
+                and block.reuse_candidate and block.deterministic):
+            if self._execute_block_with_reuse(ctx, block):
+                return
+        for inst in block.instructions:
+            self.execute_instruction(ctx, inst)
+
+    @staticmethod
+    def _cacheable_outputs(block: ProgramBlock) -> list[str]:
+        return sorted(o for o in block.outputs if not o.startswith("_t"))
+
+    def _execute_block_with_reuse(self, ctx: ExecutionContext,
+                                  block: BasicBlock) -> bool:
+        """Probe/execute a block under block-level reuse; True if handled."""
+        input_names = sorted(block.inputs)
+        input_items = []
+        for name in input_names:
+            item = ctx.lineage.get_or_none(name)
+            if item is None:
+                return False
+            input_items.append(item)
+        outputs = self._cacheable_outputs(block)
+        if not outputs:
+            return False
+        call_item = block_call_item(f"b{id(block)}", input_items)
+        out_items = {o: block_output_item(call_item, o) for o in outputs}
+        hits = {}
+        for name, item in out_items.items():
+            hit = self.cache.probe(item)
+            if hit is None:
+                hits = None
+                break
+            hits[name] = hit
+        if hits is not None:
+            self.cache.stats.multilevel_hits += 1
+            for name, hit in hits.items():
+                ctx.symbols.set(name, hit.value)
+                ctx.lineage.set(name, hit.lineage)
+            return True
+        start = time.perf_counter()
+        for inst in block.instructions:
+            self.execute_instruction(ctx, inst)
+        elapsed = time.perf_counter() - start
+        for name, item in out_items.items():
+            value = ctx.symbols.get_or_none(name)
+            root = ctx.lineage.get_or_none(name)
+            if value is not None and root is not None:
+                self.cache.put(item, value, root, elapsed)
+        return True
+
+    # ------------------------------------------------------------------
+    # instructions
+    # ------------------------------------------------------------------
+
+    def execute_instruction(self, ctx: ExecutionContext, inst) -> None:
+        """Execute one instruction, attaching source context to failures."""
+        try:
+            self._execute_instruction(ctx, inst)
+        except LimaRuntimeError as exc:
+            if getattr(exc, "located", False) or not inst.line:
+                raise
+            error = LimaRuntimeError(
+                f"line {inst.line} ({inst.opcode}): {exc}")
+            error.located = True
+            raise error from exc
+        except (ValueError, FloatingPointError, ZeroDivisionError) as exc:
+            # NumPy shape/broadcast errors surface with script context
+            error = LimaRuntimeError(
+                f"line {inst.line} ({inst.opcode}): {exc}")
+            error.located = True
+            raise error from exc
+
+    def _execute_instruction(self, ctx: ExecutionContext, inst) -> None:
+        if isinstance(inst, VariableInstruction):
+            inst.execute(ctx, None)
+            return
+        if isinstance(inst, FunctionCallInstruction):
+            self.execute_function_call(ctx, inst)
+            return
+        if isinstance(inst, EvalInstruction):
+            self.execute_eval(ctx, inst)
+            return
+
+        state = inst.preprocess(ctx)
+        if (ctx.dedup_tracker is not None
+                and isinstance(inst, DataGenInstruction)
+                and state.get("system")):
+            ctx.dedup_tracker.record_seed(state["seed"])
+
+        items = inst.lineage(ctx, state) if ctx.lineage_active else None
+
+        if self._reuse_applies(ctx, inst, items):
+            if len(inst.outputs) == 1:
+                self._execute_with_full_reuse(ctx, inst, state, items)
+            else:
+                self._execute_multireturn_with_reuse(ctx, inst, state, items)
+            return
+
+        inst.execute(ctx, state)
+        if items:
+            for name, item in items.items():
+                self._bind_lineage(ctx, name, item)
+
+        if (isinstance(inst, LeftIndexInstruction)
+                and ctx.leftindex_log is not None):
+            self._record_leftindex(ctx, inst, items)
+
+    def _bind_lineage(self, ctx, name: str, item: LineageItem) -> None:
+        """Bind an output's lineage, value-numbering scalars under reuse.
+
+        Skipped inside dedup tracing: patches must stay parameterized in
+        the loop inputs rather than baking per-iteration scalar values.
+        """
+        if self._scalarize and ctx.dedup_tracker is None:
+            value = ctx.symbols.get_or_none(name)
+            if isinstance(value, ScalarValue):
+                item = ctx.lineage.literal(value.value)
+            elif isinstance(value, StringValue):
+                item = ctx.lineage.literal(value.value)
+        ctx.lineage.set(name, item)
+
+    def _reuse_applies(self, ctx, inst, items) -> bool:
+        return (self.cache is not None and self.config.reuse_full
+                and items is not None and ctx.dedup_tracker is None
+                and inst.reusable and not inst.unmarked
+                and inst.opcode in self.config.reusable_opcodes)
+
+    def _execute_with_full_reuse(self, ctx, inst, state, items) -> None:
+        out = inst.outputs[0]
+        item = items[out]
+        status, payload = self.cache.acquire(item)
+        if status == "hit":
+            ctx.symbols.set(out, payload.value)
+            self._bind_lineage(ctx, out, payload.lineage or item)
+            return
+        if status == "wait":
+            result = self.cache.wait_for(payload)
+            if result is not None:
+                ctx.symbols.set(out, result.value)
+                self._bind_lineage(ctx, out, result.lineage or item)
+                return
+            # the producer aborted: compute locally without caching
+            inst.execute(ctx, state)
+            self._bind_lineage(ctx, out, item)
+            return
+        # reserved: we are the producer
+        try:
+            if (self.config.reuse_partial
+                    and isinstance(inst, ComputeInstruction)):
+                values = [op.resolve(ctx) for op in inst.operands]
+                start = time.perf_counter()
+                partial = try_partial_reuse(item, values, self.cache)
+                if partial is not None:
+                    elapsed = time.perf_counter() - start
+                    ctx.symbols.set(out, partial)
+                    self._bind_lineage(ctx, out, item)
+                    self.cache.fulfill(item, partial, item, elapsed)
+                    return
+            start = time.perf_counter()
+            inst.execute(ctx, state)
+            elapsed = time.perf_counter() - start
+        except BaseException:
+            self.cache.abort(item)
+            raise
+        value = ctx.symbols.get(out)
+        self._bind_lineage(ctx, out, item)
+        self.cache.fulfill(item, value, item, elapsed)
+
+    def _execute_multireturn_with_reuse(self, ctx, inst, state,
+                                        items) -> None:
+        hits = {}
+        for name, item in items.items():
+            hit = self.cache.probe(item)
+            if hit is None:
+                hits = None
+                break
+            hits[name] = (item, hit)
+        if hits is not None:
+            for name, (item, hit) in hits.items():
+                ctx.symbols.set(name, hit.value)
+                self._bind_lineage(ctx, name, hit.lineage or item)
+            return
+        start = time.perf_counter()
+        inst.execute(ctx, state)
+        elapsed = time.perf_counter() - start
+        for name, item in items.items():
+            value = ctx.symbols.get_or_none(name)
+            self._bind_lineage(ctx, name, item)
+            if value is not None:
+                self.cache.put(item, value, item, elapsed)
+
+    def _record_leftindex(self, ctx, inst: LeftIndexInstruction,
+                          items) -> None:
+        """Record a left-index update for parfor result merge."""
+        rows = IndexInstruction.resolve_spec(inst.row_spec, ctx)
+        cols = IndexInstruction.resolve_spec(inst.col_spec, ctx)
+        source = inst.source.resolve(ctx)
+        if ctx.lineage_active and not inst.source.is_literal:
+            src_item = ctx.lineage.get_or_none(inst.source.name)
+        elif inst.source.is_literal:
+            src_item = ctx.lineage.literal(inst.source.value) \
+                if ctx.lineage_active else None
+        else:
+            src_item = None
+        ctx.leftindex_log.append(
+            (inst.output, rows, cols, source, src_item))
+
+    # ------------------------------------------------------------------
+    # function calls and eval
+    # ------------------------------------------------------------------
+
+    def get_function(self, name: str) -> FunctionProgram:
+        """Resolve a function, compiling builtin scripts on demand."""
+        func = self.program.functions.get(name)
+        if func is not None:
+            return func
+        from repro.compiler.compiler import compile_function_into
+        with self._compile_lock:
+            func = self.program.functions.get(name)
+            if func is None:
+                func = compile_function_into(self.program, name, self.config)
+        if func is None:
+            raise LimaRuntimeError(f"unknown function {name!r}")
+        return func
+
+    def execute_function_call(self, ctx: ExecutionContext,
+                              inst: FunctionCallInstruction) -> None:
+        func = self.get_function(inst.fname)
+        arg_values = [op.resolve(ctx) for op in inst.operands]
+        arg_items = ([op.lineage(ctx) for op in inst.operands]
+                     if ctx.lineage_active else None)
+        self.call_function(ctx, func, arg_values, arg_items, inst.outputs)
+
+    def call_function(self, ctx: ExecutionContext, func: FunctionProgram,
+                      arg_values: list[Value],
+                      arg_items: list[LineageItem] | None,
+                      out_names: list[str]) -> None:
+        """Invoke a function with multi-level reuse (Section 4.1)."""
+        if len(out_names) > len(func.outputs):
+            raise LimaRuntimeError(
+                f"{func.name}() returns {len(func.outputs)} values, "
+                f"{len(out_names)} requested")
+        reuse = (self.config.reuse_multilevel and self.cache is not None
+                 and arg_items is not None and func.deterministic
+                 and ctx.dedup_tracker is None)
+        out_items = None
+        if reuse:
+            call_item = function_call_item(func.name, arg_items)
+            out_items = {o: function_output_item(call_item, o)
+                         for o in func.outputs}
+            hits = {}
+            for name, item in out_items.items():
+                hit = self.cache.probe(item)
+                if hit is None:
+                    hits = None
+                    break
+                hits[name] = hit
+            if hits is not None:
+                self.cache.stats.multilevel_hits += 1
+                for fo, target in zip(func.outputs, out_names):
+                    ctx.symbols.set(target, hits[fo].value)
+                    if ctx.lineage_active:
+                        ctx.lineage.set(target, hits[fo].lineage)
+                return
+
+        frame = ctx.child_frame()
+        frame.lineage_suppressed = ctx.lineage_suppressed
+        frame.dedup_tracker = ctx.dedup_tracker
+        frame.leftindex_log = None
+        frame.in_parfor_worker = ctx.in_parfor_worker
+        for pname, value, pos in zip(func.params, arg_values,
+                                     range(len(arg_values))):
+            frame.symbols.set(pname, value)
+            if frame.lineage_active:
+                frame.lineage.set(pname, arg_items[pos])
+        start = time.perf_counter()
+        self.execute_blocks(frame, func.blocks)
+        elapsed = time.perf_counter() - start
+
+        for fo, target in zip(func.outputs, out_names):
+            value = frame.symbols.get_or_none(fo)
+            if value is None:
+                raise LimaRuntimeError(
+                    f"{func.name}() did not assign output {fo!r}")
+            ctx.symbols.set(target, value)
+            if ctx.lineage_active:
+                ctx.lineage.set(target, frame.lineage.get(fo))
+        if reuse:
+            for fo in func.outputs:
+                value = frame.symbols.get_or_none(fo)
+                root = frame.lineage.get_or_none(fo)
+                if value is not None and root is not None:
+                    self.cache.put(out_items[fo], value, root, elapsed)
+
+    def execute_eval(self, ctx: ExecutionContext,
+                     inst: EvalInstruction) -> None:
+        """``eval(fname, args)`` — dynamic dispatch by function name."""
+        fname_v = inst.fname.resolve(ctx)
+        if not isinstance(fname_v, StringValue):
+            raise LimaRuntimeError("eval() requires a string function name")
+        func = self.get_function(fname_v.value)
+        args_v = inst.args.resolve(ctx)
+        if not isinstance(args_v, ListValue):
+            raise LimaRuntimeError("eval() requires a list of arguments")
+        list_item = (ctx.lineage.get_or_none(inst.args.name)
+                     if ctx.lineage_active and not inst.args.is_literal
+                     else None)
+        elem_items = (_list_element_items(list_item)
+                      if list_item is not None else None)
+        if ctx.lineage_active and (elem_items is None
+                                   or len(elem_items) != len(args_v.items)):
+            raise LimaRuntimeError(
+                "eval() over a list with opaque lineage is not supported "
+                "while lineage tracing is enabled")
+
+        # map list elements (by name when present, else positionally)
+        values: dict[str, Value] = {}
+        items: dict[str, LineageItem] = {}
+        for pos, value in enumerate(args_v.items):
+            if args_v.names is not None and args_v.names[pos]:
+                pname = args_v.names[pos]
+            elif pos < len(func.params):
+                pname = func.params[pos]
+            else:
+                raise LimaRuntimeError(
+                    f"eval: too many arguments for {func.name!r}")
+            values[pname] = value
+            if elem_items is not None and ctx.lineage_active:
+                items[pname] = elem_items[pos]
+
+        arg_values = []
+        arg_items: list[LineageItem] | None = \
+            [] if ctx.lineage_active else None
+        for pname in func.params:
+            if pname in values:
+                arg_values.append(values[pname])
+                if arg_items is not None:
+                    arg_items.append(items[pname])
+            elif pname in func.defaults:
+                default = func.defaults[pname]
+                arg_values.append(_wrap_literal(default))
+                if arg_items is not None:
+                    arg_items.append(ctx.lineage.literal(default))
+            else:
+                raise LimaRuntimeError(
+                    f"eval: missing argument {pname!r} for {func.name!r}")
+        self.call_function(ctx, func, arg_values, arg_items, [inst.output])
+
+    # ------------------------------------------------------------------
+    # control flow
+    # ------------------------------------------------------------------
+
+    def _execute_raw(self, ctx: ExecutionContext,
+                     block: BasicBlock) -> None:
+        """Execute a condition/sequence block without block-level reuse."""
+        for inst in block.instructions:
+            self.execute_instruction(ctx, inst)
+
+    def _cleanup_temp(self, ctx: ExecutionContext, operand: Operand) -> None:
+        if not operand.is_literal and operand.name.startswith("_t"):
+            ctx.symbols.remove(operand.name)
+            if ctx.lineage_active:
+                ctx.lineage.remove(operand.name)
+
+    def execute_if(self, ctx: ExecutionContext, block: IfBlock) -> None:
+        self._execute_raw(ctx, block.cond_block)
+        taken = K.as_scalar(block.pred.resolve(ctx)).as_bool()
+        if ctx.dedup_tracker is not None:
+            ctx.dedup_tracker.record_branch(block.branch_id, taken)
+        self._cleanup_temp(ctx, block.pred)
+        self.execute_blocks(ctx, block.then_blocks if taken
+                            else block.else_blocks)
+
+    def _loop_values(self, ctx: ExecutionContext,
+                     block: ForBlock) -> list[float]:
+        self._execute_raw(ctx, block.seq_block)
+        if block.range_ops is not None:
+            lo_op, hi_op, step_op = block.range_ops
+            lo = K.as_scalar(lo_op.resolve(ctx)).as_int()
+            hi = K.as_scalar(hi_op.resolve(ctx)).as_int()
+            step = K.as_scalar(step_op.resolve(ctx)).as_int()
+            if step == 0:  # auto direction, R-style: 3:1 iterates 3,2,1
+                step = 1 if hi >= lo else -1
+            values = list(range(lo, hi + (1 if step > 0 else -1), step))
+            for op in block.range_ops:
+                self._cleanup_temp(ctx, op)
+            return values
+        seq = ctx.symbols.get(block.seq_var)
+        values = [float(v) for v in K.as_matrix(seq).data.ravel()]
+        if block.seq_var.startswith("_t"):
+            ctx.symbols.remove(block.seq_var)
+            if ctx.lineage_active:
+                ctx.lineage.remove(block.seq_var)
+        return values
+
+    def _bind_loop_var(self, ctx: ExecutionContext, var: str,
+                       value: float) -> None:
+        scalar = int(value) if float(value).is_integer() else float(value)
+        ctx.symbols.set(var, ScalarValue(scalar))
+        if ctx.lineage_active:
+            ctx.lineage.set(var, ctx.lineage.literal(scalar))
+
+    def execute_for(self, ctx: ExecutionContext, block: ForBlock) -> None:
+        values = self._loop_values(ctx, block)
+        if not values:
+            return
+        if block.parallel and len(values) > 1:
+            from repro.runtime.parfor import execute_parfor
+            execute_parfor(self, ctx, block, values)
+            return
+        if self._dedup_applies(ctx, block):
+            self._execute_loop_dedup(ctx, block, values)
+            return
+        for value in values:
+            self._bind_loop_var(ctx, block.var, value)
+            self.execute_blocks(ctx, block.body)
+
+    def execute_while(self, ctx: ExecutionContext,
+                      block: WhileBlock) -> None:
+        if self._dedup_applies(ctx, block):
+            self._execute_while_dedup(ctx, block)
+            return
+        while True:
+            self._execute_raw(ctx, block.cond_block)
+            taken = K.as_scalar(block.pred.resolve(ctx)).as_bool()
+            self._cleanup_temp(ctx, block.pred)
+            if not taken:
+                return
+            self.execute_blocks(ctx, block.body)
+
+    # ------------------------------------------------------------------
+    # lineage deduplication of last-level loops (Section 3.2)
+    # ------------------------------------------------------------------
+
+    def _dedup_applies(self, ctx: ExecutionContext, block) -> bool:
+        return (self.config.dedup and self.config.lineage
+                and block.last_level
+                and block.num_branches <= _MAX_DEDUP_BRANCHES
+                and ctx.dedup_tracker is None
+                and not ctx.lineage_suppressed
+                and not ctx.in_parfor_worker
+                and not getattr(block, "parallel", False))
+
+    def _execute_loop_dedup(self, ctx: ExecutionContext, block: ForBlock,
+                            values: list[float]) -> None:
+        input_names = sorted(set(block.inputs) | {block.var})
+        if not self._dedup_inputs_available(ctx, input_names, block.var):
+            for value in values:
+                self._bind_loop_var(ctx, block.var, value)
+                self.execute_blocks(ctx, block.body)
+            return
+        tracker = self._tracker_for(block, input_names)
+        for value in values:
+            self._dedup_iteration(ctx, tracker, block, block.var, value)
+        self._bind_loop_var(ctx, block.var, values[-1])
+
+    def _execute_while_dedup(self, ctx: ExecutionContext,
+                             block: WhileBlock) -> None:
+        input_names = sorted(block.inputs)
+        if not self._dedup_inputs_available(ctx, input_names, None):
+            self.execute_while_plain(ctx, block)
+            return
+        tracker = self._tracker_for(block, input_names)
+        while True:
+            self._execute_raw(ctx, block.cond_block)
+            taken = K.as_scalar(block.pred.resolve(ctx)).as_bool()
+            self._cleanup_temp(ctx, block.pred)
+            if not taken:
+                return
+            self._dedup_iteration(ctx, tracker, block, None, None)
+
+    def execute_while_plain(self, ctx: ExecutionContext,
+                            block: WhileBlock) -> None:
+        while True:
+            self._execute_raw(ctx, block.cond_block)
+            taken = K.as_scalar(block.pred.resolve(ctx)).as_bool()
+            self._cleanup_temp(ctx, block.pred)
+            if not taken:
+                return
+            self.execute_blocks(ctx, block.body)
+
+    def _tracker_for(self, block, input_names: list[str]) -> DedupTracker:
+        """Per-loop-block tracker, reused across loop entries (epochs)."""
+        tracker = self._dedup_trackers.get(id(block))
+        if tracker is None or tracker.input_names != input_names:
+            tracker = DedupTracker(input_names, block.num_branches)
+            self._dedup_trackers[id(block)] = tracker
+        return tracker
+
+    def _dedup_inputs_available(self, ctx, input_names, loop_var) -> bool:
+        return all(name == loop_var or ctx.lineage.contains(name)
+                   for name in input_names)
+
+    def _dedup_iteration(self, ctx: ExecutionContext, tracker: DedupTracker,
+                         block, loop_var: str | None, value) -> None:
+        tracker.begin_iteration()
+        # capture actual input lineage before the iteration mutates anything
+        actual_inputs = []
+        for name in tracker.input_names:
+            if name == loop_var:
+                scalar = (int(value) if float(value).is_integer()
+                          else float(value))
+                actual_inputs.append(literal_item(scalar))
+            else:
+                actual_inputs.append(ctx.lineage.get(name))
+
+        outer_lineage = ctx.lineage
+        roots = None
+        try:
+            ctx.dedup_tracker = tracker
+            if tracker.fast_mode:
+                ctx.lineage_suppressed = True
+                if loop_var is not None:
+                    ctx.symbols.set(loop_var, ScalarValue(
+                        int(value) if float(value).is_integer()
+                        else float(value)))
+                self.execute_blocks(ctx, block.body)
+            else:
+                local = LineageMap()
+                for pos, name in enumerate(tracker.input_names):
+                    local.set(name, tracker.placeholders[pos])
+                ctx.lineage = local
+                if loop_var is not None:
+                    ctx.symbols.set(loop_var, ScalarValue(
+                        int(value) if float(value).is_integer()
+                        else float(value)))
+                self.execute_blocks(ctx, block.body)
+                roots = {}
+                for name in self._cacheable_outputs(block):
+                    item = local.get_or_none(name)
+                    if item is not None and \
+                            item not in tracker.placeholders:
+                        roots[name] = item
+                    elif item is not None:
+                        roots[name] = item
+        finally:
+            ctx.lineage = outer_lineage
+            ctx.lineage_suppressed = False
+            ctx.dedup_tracker = None
+
+        patch, seeds = tracker.finish_iteration(roots)
+        _, douts = make_dedup_items(patch, actual_inputs, seeds)
+        for name, item in douts.items():
+            ctx.lineage.set(name, item)
+
+
+def _wrap_literal(value) -> Value:
+    if isinstance(value, str):
+        return StringValue(value)
+    return ScalarValue(value)
+
+
+def _list_element_items(item: LineageItem) -> list[LineageItem] | None:
+    """Per-element lineage items of a list lineage (``list``/``lappend``)."""
+    if item.opcode == "list":
+        return list(item.inputs)
+    if item.opcode == "lappend":
+        head = _list_element_items(item.inputs[0])
+        if head is None:
+            return None
+        return head + [item.inputs[2]]
+    return None

@@ -1,0 +1,166 @@
+"""Task-parallel ``parfor`` execution with result merge (Section 3.3).
+
+Each iteration runs in an isolated worker context: a shallow copy of the
+parent symbol table (values are immutable by convention), a worker-local
+lineage map sharing the common input lineage, and an independently spawned
+seed source so execution is deterministic regardless of scheduling.
+
+Workers share the session's lineage cache; placeholder entries make
+concurrent workers block on a key being computed instead of recomputing it
+(Section 4.1).
+
+Result merge (in iteration order, so semantics match the sequential loop):
+
+* variables updated via left-indexing in the body are merged by replaying
+  each worker's recorded ``(rows, cols, value)`` updates onto the parent's
+  copy — the common ``B[, i] = ...`` accumulation pattern,
+* any other variable assigned in the body takes the last iteration's value
+  (and its worker-traced lineage root), linearizing the lineage graph.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING
+
+from repro.data.values import MatrixValue, ScalarValue
+from repro.errors import LimaRuntimeError
+from repro.lineage.item import LineageItem
+from repro.runtime import kernels as K
+from repro.runtime.context import ExecutionContext
+
+if TYPE_CHECKING:
+    from repro.compiler.program import ForBlock
+    from repro.runtime.interpreter import Interpreter
+
+
+def execute_parfor(interpreter: "Interpreter", ctx: ExecutionContext,
+                   block: "ForBlock", values: list[float]) -> None:
+    workers = (interpreter.config.parfor_workers
+               or min(len(values), _default_workers()))
+
+    # worker contexts are created up front, in iteration order, so seed
+    # spawning is deterministic
+    contexts: list[ExecutionContext] = []
+    for k, value in enumerate(values):
+        wctx = ctx.worker_copy(k)
+        scalar = int(value) if float(value).is_integer() else float(value)
+        wctx.symbols.set(block.var, ScalarValue(scalar))
+        if wctx.lineage_active:
+            wctx.lineage.set(block.var, wctx.lineage.literal(scalar))
+        contexts.append(wctx)
+
+    def run(wctx: ExecutionContext) -> ExecutionContext:
+        interpreter.execute_blocks(wctx, block.body)
+        return wctx
+
+    if workers <= 1:
+        for wctx in contexts:
+            run(wctx)
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(run, contexts))
+
+    _merge_results(ctx, block, contexts)
+
+
+def _default_workers() -> int:
+    import os
+    return max(2, (os.cpu_count() or 4))
+
+
+def _merge_results(ctx: ExecutionContext, block: "ForBlock",
+                   contexts: list[ExecutionContext]) -> None:
+    merged_vars = [o for o in sorted(block.outputs)
+                   if not o.startswith("_t") and o != block.var]
+    leftindexed = set()
+    for wctx in contexts:
+        for record in wctx.leftindex_log:
+            leftindexed.add(record[0])
+
+    # 1) left-indexed result variables: replay updates in iteration order
+    for var in merged_vars:
+        if var not in leftindexed:
+            continue
+        base = ctx.symbols.get_or_none(var)
+        if base is None or not isinstance(base, MatrixValue):
+            raise LimaRuntimeError(
+                f"parfor result variable {var!r} must exist as a matrix "
+                "before the loop")
+        running = base
+        running_item = (ctx.lineage.get_or_none(var)
+                        if ctx.lineage_active else None)
+        for wctx in contexts:
+            for target, rows, cols, source, src_item in wctx.leftindex_log:
+                if target != var:
+                    continue
+                running = K.left_index(running, source, rows, cols)
+                if running_item is not None and src_item is not None:
+                    running_item = _chain_leftindex(
+                        running_item, src_item, rows, cols)
+        ctx.symbols.set(var, running)
+        if ctx.lineage_active:
+            if running_item is not None:
+                ctx.lineage.set(var, running_item)
+            else:
+                last = _last_writer(contexts, var)
+                if last is not None:
+                    ctx.lineage.set(var, last)
+
+    # 2) plain assignments: last iteration wins
+    for var in merged_vars:
+        if var in leftindexed:
+            continue
+        for wctx in reversed(contexts):
+            value = wctx.symbols.get_or_none(var)
+            if value is not None:
+                ctx.symbols.set(var, value)
+                if ctx.lineage_active:
+                    item = wctx.lineage.get_or_none(var)
+                    if item is not None:
+                        ctx.lineage.set(var, item)
+                break
+
+    # the loop variable holds its final value, as in the sequential loop
+    last_ctx = contexts[-1]
+    final = last_ctx.symbols.get_or_none(block.var)
+    if final is not None:
+        ctx.symbols.set(block.var, final)
+        if ctx.lineage_active:
+            item = last_ctx.lineage.get_or_none(block.var)
+            if item is not None:
+                ctx.lineage.set(block.var, item)
+
+
+def _chain_leftindex(running: LineageItem, src_item: LineageItem,
+                     rows, cols) -> LineageItem | None:
+    """Chain one left-index update onto a running lineage root.
+
+    Returns None when a spec cannot be expressed as literals (index-vector
+    updates), in which case the caller falls back to the last worker's
+    lineage.
+    """
+    from repro.lineage.item import literal_item
+    inputs = [running, src_item]
+    kinds = ""
+    for spec in (rows, cols):
+        if spec is None:
+            kinds += "a"
+        elif isinstance(spec, tuple):
+            kinds += "r"
+            inputs.append(literal_item(int(spec[0])))
+            inputs.append(literal_item(int(spec[1])))
+        elif isinstance(spec, int):
+            kinds += "i"
+            inputs.append(literal_item(spec))
+        else:
+            return None
+    return LineageItem("leftIndex", inputs, kinds)
+
+
+def _last_writer(contexts, var) -> LineageItem | None:
+    for wctx in reversed(contexts):
+        item = wctx.lineage.get_or_none(var)
+        if item is not None:
+            return item
+    return None

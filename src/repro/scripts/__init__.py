@@ -1,0 +1,53 @@
+"""Script-based builtin function library (paper Section 2.1).
+
+Like SystemDS, high-level primitives (``lm``, ``gridSearch``, ``pca``, ...)
+are themselves scripts written in the DML-like language and compiled on
+demand.  This is what creates the hierarchical composition — and hence the
+multi-level redundancy — that LIMA exploits.
+
+:func:`lookup_builtin_function` returns the parsed ``FuncDef`` for a name,
+parsing each script source at most once per process.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.lang import ast, parse
+from repro.scripts import builtins as _builtins
+
+_PARSED: dict[str, ast.FuncDef] = {}
+_LOCK = threading.Lock()
+_SOURCES_SCANNED = False
+
+
+def _scan_sources() -> None:
+    global _SOURCES_SCANNED
+    if _SOURCES_SCANNED:
+        return
+    for source in _builtins.SOURCES:
+        script = parse(source)
+        for name, fdef in script.functions.items():
+            _PARSED.setdefault(name, fdef)
+    _SOURCES_SCANNED = True
+
+
+def lookup_builtin_function(name: str) -> ast.FuncDef | None:
+    """Parsed AST of a builtin script function, or None if unknown."""
+    with _LOCK:
+        _scan_sources()
+        return _PARSED.get(name)
+
+
+def builtin_function_names() -> list[str]:
+    with _LOCK:
+        _scan_sources()
+        return sorted(_PARSED)
+
+
+def builtin_source(name: str) -> str | None:
+    """Raw script source containing the named builtin (for docs/tests)."""
+    for source in _builtins.SOURCES:
+        if f"{name} = function" in source:
+            return source
+    return None

@@ -1,0 +1,484 @@
+"""DML sources of the builtin script function library.
+
+The functions mirror (in simplified form) the SystemDS builtins the paper
+evaluates: linear regression with closed-form/conjugate-gradient dispatch
+(Example 1), grid search with dynamic ``eval`` dispatch, L2-regularized
+SVM, multi-class SVM and logistic regression, PCA (Fig. 5), naive Bayes,
+k-fold cross-validated lm, stepwise linear regression, and a two-hidden-
+layer autoencoder with batch-wise preprocessing (Section 5.5).
+"""
+
+SCALE_AND_SHIFT = """
+scaleAndShift = function(X) return (Y) {
+  cm = colMeans(X);
+  csd = colSds(X);
+  csd = replace(target=csd, pattern=0, replacement=1);
+  Y = (X - cm) / csd;
+}
+"""
+
+LM = """
+lmDS = function(X, y, icpt = 0, reg = 0.0000001, verbose = FALSE)
+    return (B) {
+  if (icpt == 2)
+    X = scaleAndShift(X);
+  if (icpt > 0)
+    X = cbind(X, matrix(1, nrow(X), 1));
+  A = t(X) %*% X + diag(matrix(reg, ncol(X), 1));
+  b = t(X) %*% y;
+  B = solve(A, b);
+}
+
+lmCG = function(X, y, icpt = 0, reg = 0.0000001, tol = 0.0000001,
+                maxi = 0, verbose = FALSE) return (B) {
+  if (icpt == 2)
+    X = scaleAndShift(X);
+  if (icpt > 0)
+    X = cbind(X, matrix(1, nrow(X), 1));
+  n = ncol(X);
+  B = matrix(0, n, 1);
+  r = -1 * (t(X) %*% y);
+  p = -1 * r;
+  norm_r2 = sum(r * r);
+  norm_r2_tgt = norm_r2 * tol * tol;
+  mi = maxi;
+  if (mi == 0)
+    mi = n;
+  i = 0;
+  while (i < mi & norm_r2 > norm_r2_tgt) {
+    q = t(X) %*% (X %*% p) + reg * p;
+    alpha = norm_r2 / sum(p * q);
+    B = B + alpha * p;
+    r = r + alpha * q;
+    old_norm_r2 = norm_r2;
+    norm_r2 = sum(r * r);
+    p = -1 * r + (norm_r2 / old_norm_r2) * p;
+    i = i + 1;
+  }
+}
+
+lm = function(X, y, icpt = 0, reg = 0.0000001, tol = 0.0000001,
+              maxi = 0, verbose = FALSE) return (B) {
+  if (ncol(X) <= 1024)
+    B = lmDS(X, y, icpt, reg, verbose);
+  else
+    B = lmCG(X, y, icpt, reg, tol, maxi, verbose);
+}
+
+lmPredict = function(X, B) return (yhat) {
+  if (nrow(B) > ncol(X))
+    X = cbind(X, matrix(1, nrow(X), 1));
+  yhat = X %*% B;
+}
+
+l2norm = function(X, y, B) return (loss) {
+  if (nrow(B) > ncol(X))
+    X = cbind(X, matrix(1, nrow(X), 1));
+  e = y - X %*% B;
+  loss = sum(e * e);
+}
+
+r2score = function(y, yhat) return (r2) {
+  ss_res = sum((y - yhat) ^ 2);
+  mu = mean(y);
+  ss_tot = sum((y - mu) ^ 2);
+  r2 = 1 - ss_res / max(ss_tot, 0.000000001);
+}
+"""
+
+GRID_SEARCH = """
+gridSearch = function(X, y, train, score, params, paramValues, numB,
+                      par = TRUE) return (B, opt) {
+  numParams = length(params);
+  numConfigs = 1;
+  for (j in 1:numParams)
+    numConfigs = numConfigs * nrow(as.matrix(paramValues[j]));
+
+  # materialize all hyper-parameter tuples (paper Section 2.1)
+  HP = matrix(0, numConfigs, numParams);
+  blockSize = numConfigs;
+  for (j in 1:numParams) {
+    vals = as.matrix(paramValues[j]);
+    nvals = nrow(vals);
+    blockSize = blockSize / nvals;
+    for (k in 1:numConfigs) {
+      idx = as.integer(floor((k - 1) / blockSize)) %% nvals + 1;
+      HP[k, j] = as.scalar(vals[idx, 1]);
+    }
+  }
+
+  rB = matrix(0, numConfigs, numB);
+  rL = matrix(0, numConfigs, 1);
+  if (par) {
+    parfor (k in 1:numConfigs) {
+      largs = list(X = X, y = y);
+      for (j in 1:numParams)
+        largs = lappend(largs, params[j], as.scalar(HP[k, j]));
+      beta = eval(train, largs);
+      nb = nrow(beta);
+      rB[k, 1:nb] = t(beta);
+      rL[k, 1] = eval(score, list(X = X, y = y, B = beta));
+    }
+  } else {
+    for (k in 1:numConfigs) {
+      largs = list(X = X, y = y);
+      for (j in 1:numParams)
+        largs = lappend(largs, params[j], as.scalar(HP[k, j]));
+      beta = eval(train, largs);
+      nb = nrow(beta);
+      rB[k, 1:nb] = t(beta);
+      rL[k, 1] = eval(score, list(X = X, y = y, B = beta));
+    }
+  }
+
+  ordIdx = order(target = rL, by = 1, decreasing = FALSE,
+                 index.return = TRUE);
+  opti = as.scalar(ordIdx[1, 1]);
+  opt = as.scalar(rL[opti, 1]);
+  B = t(rB[opti, ]);
+}
+"""
+
+L2SVM = """
+l2svm = function(X, y, icpt = 0, reg = 1.0, tol = 0.001, maxIter = 20)
+    return (w) {
+  Y = y;
+  if (icpt > 0)
+    X = cbind(X, matrix(1, nrow(X), 1));
+  D = ncol(X);
+  w = matrix(0, D, 1);
+  g_old = t(X) %*% Y;
+  s = g_old;
+  Xw = matrix(0, nrow(X), 1);
+  iter = 0;
+  continue = 1;
+  while (continue == 1 & iter < maxIter) {
+    step_sz = 0;
+    Xd = X %*% s;
+    wd = reg * sum(w * s);
+    dd = reg * sum(s * s);
+    inner = 1;
+    while (inner == 1) {
+      tmp_Xw = Xw + step_sz * Xd;
+      out = 1 - Y * tmp_Xw;
+      sv = out > 0;
+      out = out * sv;
+      g = wd + step_sz * dd - sum(out * Y * Xd);
+      h = dd + sum(Xd * sv * Xd);
+      step_sz = step_sz - g / h;
+      inner = ifelse(g * g / h > 0.0000000001, 1, 0);
+    }
+    w = w + step_sz * s;
+    Xw = Xw + step_sz * Xd;
+    out = 1 - Y * Xw;
+    sv = out > 0;
+    out = sv * out;
+    obj = 0.5 * sum(out * out) + reg / 2 * sum(w * w);
+    g_new = t(X) %*% (out * Y) - reg * w;
+    tmp = sum(s * g_old);
+    if (step_sz * tmp < tol * obj)
+      continue = 0;
+    be = sum(g_new * g_new) / max(sum(g_old * g_old), 0.0000000001);
+    s = be * s + g_new;
+    g_old = g_new;
+    iter = iter + 1;
+  }
+}
+
+msvm = function(X, y, icpt = 0, reg = 1.0, tol = 0.001, maxIter = 20)
+    return (W) {
+  Y = y;
+  numClasses = as.integer(max(Y));
+  extra = ifelse(icpt > 0, 1, 0);
+  W = matrix(0, ncol(X) + extra, numClasses);
+  parfor (class in 1:numClasses) {
+    Yc = 2 * (Y == class) - 1;
+    wc = l2svm(X, Yc, icpt, reg, tol, maxIter);
+    W[, class] = wc;
+  }
+}
+"""
+
+MULTILOGREG = """
+multiLogReg = function(X, y, icpt = 0, reg = 0.000001, tol = 0.000001,
+                       maxi = 20) return (B) {
+  Y = y;
+  if (icpt > 0)
+    X = cbind(X, matrix(1, nrow(X), 1));
+  N = nrow(X);
+  D = ncol(X);
+  K = as.integer(max(Y));
+  Yhot = table(seq(1, N), Y);
+  B = matrix(0, D, K);
+  step = 1.0;
+  i = 0;
+  while (i < maxi) {
+    scores = X %*% B;
+    escores = exp(scores - rowMaxs(scores));
+    P = escores / rowSums(escores);
+    G = t(X) %*% (P - Yhot) / N + reg * B;
+    B = B - step * G;
+    i = i + 1;
+  }
+}
+"""
+
+PCA = """
+pca = function(A, K = 2) return (R, evects) {
+  N = nrow(A);
+  D = ncol(A);
+  A = scaleAndShift(A);
+  mu = colSums(A) / N;
+  C = (t(A) %*% A) / (N - 1) - (N / (N - 1)) * (t(mu) %*% mu);
+  [evals, evects0] = eigen(C);
+  dscIdx = order(target = evals, by = 1, decreasing = TRUE,
+                 index.return = TRUE);
+  evects = evects0 %*% table(dscIdx, seq(1, D));
+  R = A %*% evects[, 1:K];
+}
+"""
+
+NAIVE_BAYES = """
+naiveBayes = function(X, y, laplace = 1.0) return (prior, condProb) {
+  Y = y;
+  N = nrow(X);
+  ind = table(seq(1, N), Y);
+  classCounts = t(colSums(ind));
+  featureSums = t(ind) %*% X;
+  classSums = rowSums(featureSums);
+  condProb = (featureSums + laplace) / (classSums + laplace * ncol(X));
+  prior = classCounts / N;
+}
+
+naiveBayesPredict = function(X, prior, condProb) return (Yhat) {
+  logProbs = X %*% t(log(condProb)) + t(log(prior));
+  Yhat = rowIndexMax(logProbs);
+}
+"""
+
+CVLM = """
+cvlm = function(X, y, k = 4, icpt = 0, reg = 0.0000001) return (avgLoss) {
+  N = nrow(X);
+  D = ncol(X);
+  foldSize = as.integer(floor(N / k));
+  avgLoss = 0;
+  for (i in 1:k) {
+    A = matrix(0, D, D);
+    b = matrix(0, D, 1);
+    for (j in 1:k) {
+      if (j != i) {
+        jlo = (j - 1) * foldSize + 1;
+        jhi = j * foldSize;
+        Xj = X[jlo:jhi, ];
+        yj = y[jlo:jhi, ];
+        A = A + t(Xj) %*% Xj;
+        b = b + t(Xj) %*% yj;
+      }
+    }
+    A = A + diag(matrix(reg, D, 1));
+    beta = solve(A, b);
+    lo = (i - 1) * foldSize + 1;
+    hi = i * foldSize;
+    loss = l2norm(X[lo:hi, ], y[lo:hi, ], beta);
+    avgLoss = avgLoss + loss / k;
+  }
+}
+
+cvlmPar = function(X, y, k = 4, icpt = 0, reg = 0.0000001)
+    return (avgLoss) {
+  N = nrow(X);
+  D = ncol(X);
+  foldSize = as.integer(floor(N / k));
+  losses = matrix(0, k, 1);
+  parfor (i in 1:k) {
+    A = matrix(0, D, D);
+    b = matrix(0, D, 1);
+    for (j in 1:k) {
+      if (j != i) {
+        jlo = (j - 1) * foldSize + 1;
+        jhi = j * foldSize;
+        Xj = X[jlo:jhi, ];
+        yj = y[jlo:jhi, ];
+        A = A + t(Xj) %*% Xj;
+        b = b + t(Xj) %*% yj;
+      }
+    }
+    A = A + diag(matrix(reg, D, 1));
+    beta = solve(A, b);
+    lo = (i - 1) * foldSize + 1;
+    hi = i * foldSize;
+    losses[i, 1] = l2norm(X[lo:hi, ], y[lo:hi, ], beta);
+  }
+  avgLoss = mean(losses);
+}
+"""
+
+STEPLM = """
+stepLm = function(X, y, maxK = 5, reg = 0.0000001) return (S) {
+  N = nrow(X);
+  D = ncol(X);
+  selected = matrix(0, 1, D);
+  S = matrix(0, maxK, 1);
+  Xs = matrix(1, N, 1);
+  for (k in 1:maxK) {
+    As = t(Xs) %*% Xs;
+    bestLoss = 999999999;
+    bestC = 0;
+    for (c in 1:D) {
+      if (as.scalar(selected[1, c]) == 0) {
+        Xc = cbind(Xs, X[, c]);
+        A = t(Xc) %*% Xc + diag(matrix(reg, ncol(Xc), 1));
+        b = t(Xc) %*% y;
+        beta = solve(A, b);
+        e = y - Xc %*% beta;
+        loss = sum(e * e);
+        if (loss < bestLoss) {
+          bestLoss = loss;
+          bestC = c;
+        }
+      }
+    }
+    Xs = cbind(Xs, X[, bestC]);
+    S[k, 1] = bestC;
+    selected[1, bestC] = 1;
+  }
+}
+"""
+
+AUTOENCODER = """
+autoencoder = function(X, H1 = 500, H2 = 2, epochs = 1, batchSize = 256,
+                       lr = 0.01, seedW = 42)
+    return (W1, W2, W3, W4) {
+  N = nrow(X);
+  D = ncol(X);
+  W1 = (rand(rows = D, cols = H1, seed = seedW) - 0.5) / sqrt(D);
+  W2 = (rand(rows = H1, cols = H2, seed = seedW + 1) - 0.5) / sqrt(H1);
+  W3 = (rand(rows = H2, cols = H1, seed = seedW + 2) - 0.5) / sqrt(H2);
+  W4 = (rand(rows = H1, cols = D, seed = seedW + 3) - 0.5) / sqrt(H1);
+  iters = as.integer(floor(N / batchSize));
+  for (ep in 1:epochs) {
+    for (i in 1:iters) {
+      beg = (i - 1) * batchSize + 1;
+      end = i * batchSize;
+      Xb = scaleAndShift(X[beg:end, ]);  # batch-wise preprocessing map
+      H1a = sigmoid(Xb %*% W1);
+      H2a = sigmoid(H1a %*% W2);
+      H3a = sigmoid(H2a %*% W3);
+      Yhat = H3a %*% W4;
+      E = Yhat - Xb;
+      dW4 = t(H3a) %*% E;
+      dH3 = (E %*% t(W4)) * H3a * (1 - H3a);
+      dW3 = t(H2a) %*% dH3;
+      dH2 = (dH3 %*% t(W3)) * H2a * (1 - H2a);
+      dW2 = t(H1a) %*% dH2;
+      dH1 = (dH2 %*% t(W2)) * H1a * (1 - H1a);
+      dW1 = t(Xb) %*% dH1;
+      W1 = W1 - lr * dW1;
+      W2 = W2 - lr * dW2;
+      W3 = W3 - lr * dW3;
+      W4 = W4 - lr * dW4;
+    }
+  }
+}
+"""
+
+KMEANS = """
+kmeans = function(X, k = 2, maxIter = 20, seed = 42)
+    return (C, labels) {
+  N = nrow(X);
+  D = ncol(X);
+  # seeded initialization: k random rows as initial centroids
+  init = sample(N, k, FALSE, seed);
+  C = X[init, ];
+  labels = matrix(0, N, 1);
+  iter = 0;
+  converged = 0;
+  while (converged == 0 & iter < maxIter) {
+    # squared distances via ||x||^2 - 2 x.c + ||c||^2
+    distances = rowSums(X * X) %*% matrix(1, 1, k)
+              - 2 * (X %*% t(C))
+              + matrix(1, N, 1) %*% t(rowSums(C * C));
+    newLabels = rowIndexMax(-1 * distances);
+    assign = table(seq(1, N), newLabels);
+    # an emptied cluster shrinks the table: pad back to k columns
+    if (ncol(assign) < k)
+      assign = cbind(assign, matrix(0, N, k - ncol(assign)));
+    counts = t(colSums(assign));
+    counts = replace(target = counts, pattern = 0, replacement = 1);
+    newC = (t(assign) %*% X) / counts;
+    delta = sum(newLabels != labels);
+    labels = newLabels;
+    C = newC;
+    if (delta == 0)
+      converged = 1;
+    iter = iter + 1;
+  }
+}
+
+kmeansPredict = function(X, C) return (labels) {
+  k = nrow(C);
+  N = nrow(X);
+  distances = rowSums(X * X) %*% matrix(1, 1, k)
+            - 2 * (X %*% t(C))
+            + matrix(1, N, 1) %*% t(rowSums(C * C));
+  labels = rowIndexMax(-1 * distances);
+}
+"""
+
+PNMF = """
+pnmf = function(X, rank = 10, maxIter = 20, seed = 42)
+    return (W, H) {
+  eps = 0.000000001;
+  W = rand(rows = nrow(X), cols = rank, min = 0.01, max = 1,
+           seed = seed);
+  H = rand(rows = rank, cols = ncol(X), min = 0.01, max = 1,
+           seed = seed + 1);
+  for (i in 1:maxIter) {
+    H = H * (t(W) %*% X) / (t(W) %*% W %*% H + eps);
+    W = W * (X %*% t(H)) / (W %*% (H %*% t(H)) + eps);
+  }
+}
+
+pnmfLoss = function(X, W, H) return (loss) {
+  E = X - W %*% H;
+  loss = sum(E * E);
+}
+"""
+
+PREDICTORS = """
+msvmPredict = function(X, W) return (Yhat) {
+  if (nrow(W) > ncol(X))
+    X = cbind(X, matrix(1, nrow(X), 1));
+  Yhat = rowIndexMax(X %*% W);
+}
+
+multiLogRegPredict = function(X, B) return (Yhat) {
+  if (nrow(B) > ncol(X))
+    X = cbind(X, matrix(1, nrow(X), 1));
+  Yhat = rowIndexMax(X %*% B);
+}
+
+accuracy = function(y, yhat) return (acc) {
+  acc = mean(y == yhat);
+}
+
+confusionMatrix = function(y, yhat) return (M) {
+  M = table(y, yhat);
+}
+"""
+
+SOURCES = [
+    SCALE_AND_SHIFT,
+    LM,
+    GRID_SEARCH,
+    L2SVM,
+    MULTILOGREG,
+    PCA,
+    NAIVE_BAYES,
+    CVLM,
+    STEPLM,
+    AUTOENCODER,
+    KMEANS,
+    PNMF,
+    PREDICTORS,
+]

@@ -1,0 +1,155 @@
+"""Tests of the comparison baselines (coarse reuse, lazy graph, NumPy)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.coarse import CoarseGrainedCache
+from repro.baselines.lazy_graph import LazyGraph
+from repro.baselines import numpy_algos as NA
+
+
+class TestCoarseGrainedCache:
+    def test_step_memoized(self):
+        cache = CoarseGrainedCache()
+        calls = []
+
+        def work(x):
+            calls.append(1)
+            return x * 2
+
+        a = np.ones((4, 4))
+        r1 = cache.step("double", work, a)
+        r2 = cache.step("double", work, a)
+        assert len(calls) == 1
+        np.testing.assert_array_equal(r1, r2)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_different_inputs_recompute(self):
+        cache = CoarseGrainedCache()
+        a, b = np.ones((2, 2)), np.zeros((2, 2))
+        cache.step("s", lambda x: x, a)
+        cache.step("s", lambda x: x, b)
+        assert cache.misses == 2
+
+    def test_different_step_names_isolated(self):
+        cache = CoarseGrainedCache()
+        a = np.ones((2, 2))
+        cache.step("s1", lambda x: x + 1, a)
+        out = cache.step("s2", lambda x: x + 2, a)
+        np.testing.assert_array_equal(out, a + 2)
+
+    def test_scalar_params_in_key(self):
+        cache = CoarseGrainedCache()
+        a = np.ones((2, 2))
+        r1 = cache.step("fit", lambda x, reg: x * reg, a, 0.1)
+        r2 = cache.step("fit", lambda x, reg: x * reg, a, 0.2)
+        assert not np.array_equal(r1, r2)
+
+    def test_clear(self):
+        cache = CoarseGrainedCache()
+        cache.step("s", lambda x: x, np.ones((2, 2)))
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestLazyGraph:
+    def test_basic_evaluation(self):
+        g = LazyGraph()
+        x = g.constant(np.array([[1.0, 2.0]]))
+        out = g.run(x * 2 + 1)
+        np.testing.assert_array_equal(out, [[3, 5]])
+
+    def test_cse_identical_nodes_interned(self):
+        g = LazyGraph()
+        x = g.constant(np.ones((3, 3)))
+        a = g.matmul(g.t(x), x)
+        b = g.matmul(g.t(x), x)
+        assert a is b
+
+    def test_cse_executes_shared_subgraph_once(self):
+        g = LazyGraph()
+        x = g.constant(np.random.default_rng(0).random((5, 5)))
+        expensive = g.matmul(g.t(x), x)
+        out1 = expensive + 1
+        out2 = expensive * 2
+        g.run(out1)
+        ops_after_first = g.ops_executed
+        g.run(out2)
+        # only the * 2 (and scalar) run; the matmul is memoized
+        assert g.ops_executed - ops_after_first <= 2
+
+    def test_no_eviction_memory_grows(self):
+        g = LazyGraph()
+        x = g.constant(np.ones((100, 100)))
+        before = g.materialized_bytes
+        g.run(x + 1)
+        g.run(x + 2)
+        assert g.materialized_bytes > before
+
+    def test_slices_and_binds(self):
+        g = LazyGraph()
+        x = g.constant(np.arange(12.0).reshape(3, 4))
+        out = g.run(g.slice_cols(x, 2, 3))
+        np.testing.assert_array_equal(out, np.arange(12.0).reshape(3, 4)[:, 1:3])
+        out = g.run(g.cbind(x, x))
+        assert out.shape == (3, 8)
+
+    def test_reductions(self):
+        g = LazyGraph()
+        x = g.constant(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert g.run(g.reduce("sum", x)) == 10.0
+        np.testing.assert_array_equal(
+            g.run(g.reduce("colSums", x)), [[4, 6]])
+
+    def test_solve_and_eigen(self):
+        g = LazyGraph()
+        a = g.constant(np.array([[2.0, 0], [0, 4.0]]))
+        b = g.constant(np.array([[2.0], [4.0]]))
+        np.testing.assert_allclose(g.run(g.solve(a, b)), [[1], [1]])
+        vals, vecs = g.eigen(a)
+        np.testing.assert_allclose(g.run(vals).ravel(), [2, 4])
+
+    def test_eigen_matches_runtime_kernel(self):
+        from repro.data.values import MatrixValue
+        from repro.runtime import kernels as K
+        c = np.array([[2.0, 1.0], [1.0, 3.0]])
+        g = LazyGraph()
+        _, vecs = g.eigen(g.constant(c))
+        _, kernel_vecs = K.eigen(MatrixValue(c))
+        np.testing.assert_allclose(g.run(vecs), kernel_vecs.data)
+
+
+class TestNumpyAlgos:
+    def test_pca_svd_matches_eigen_pca_magnitudes(self, rng):
+        x = rng.standard_normal((50, 6))
+        proj, comp = NA.pca_svd(x, 3)
+        assert proj.shape == (50, 3)
+        np.testing.assert_allclose(comp.T @ comp, np.eye(3), atol=1e-10)
+
+    def test_multinomial_nb_roundtrip(self, rng):
+        x = np.abs(rng.standard_normal((60, 5))) + \
+            np.repeat([[5, 0, 0, 0, 0], [0, 5, 0, 0, 0]], 30, axis=0)
+        y = np.repeat([[1.0], [2.0]], 30, axis=0)
+        prior, cond = NA.multinomial_nb_fit(x, y, alpha=1.0)
+        pred = NA.multinomial_nb_predict(x, prior, cond)
+        assert (pred == y).mean() > 0.9
+
+    def test_gaussian_nb(self, rng):
+        x = np.vstack([rng.standard_normal((30, 3)) + 3,
+                       rng.standard_normal((30, 3)) - 3])
+        y = np.repeat([[1.0], [2.0]], 30, axis=0)
+        prior, means, variances = NA.gaussian_nb_fit(x, y)
+        pred = NA.gaussian_nb_predict(x, prior, means, variances)
+        assert (pred == y).mean() == 1.0
+
+    def test_linreg_matches_lima_lmds(self, small_x, small_y):
+        from repro import LimaConfig, LimaSession
+        ref = NA.linreg_fit(small_x, small_y, reg=0.001)
+        lima = LimaSession(LimaConfig.base()).run(
+            "out = lmDS(X, y, 0, 0.001, FALSE);",
+            inputs={"X": small_x, "y": small_y}).get("out")
+        np.testing.assert_allclose(lima, ref, rtol=1e-8)
+
+    def test_cross_validate_linreg_positive(self, small_x, small_y):
+        loss = NA.cross_validate_linreg(small_x, small_y, 4, 0.01)
+        assert loss > 0

@@ -1,0 +1,308 @@
+"""Unit tests of the AST-to-program compiler."""
+
+import pytest
+
+from repro.compiler import compile_script
+from repro.compiler.program import (BasicBlock, ForBlock, IfBlock,
+                                    WhileBlock)
+from repro.config import LimaConfig
+from repro.errors import LimaCompileError
+from repro.runtime.instructions.cp import (ComputeInstruction,
+                                           DataGenInstruction,
+                                           FunctionCallInstruction,
+                                           IndexInstruction,
+                                           LeftIndexInstruction,
+                                           VariableInstruction)
+
+
+def compile_(text, **cfg):
+    return compile_script(text, LimaConfig.base().with_(**cfg)
+                          if cfg else LimaConfig.base())
+
+
+def instructions_of(text):
+    program = compile_(text)
+    assert isinstance(program.blocks[0], BasicBlock)
+    return program.blocks[0].instructions
+
+
+def opcodes_of(text):
+    return [inst.opcode for inst in instructions_of(text)]
+
+
+class TestInstructionGeneration:
+    def test_simple_assignment_direct_output(self):
+        insts = instructions_of("x = a + b;")
+        assert len(insts) == 1
+        assert insts[0].opcode == "+"
+        assert insts[0].output == "x"
+
+    def test_literal_assignment(self):
+        insts = instructions_of("x = 5;")
+        assert isinstance(insts[0], VariableInstruction)
+        assert insts[0].kind == "assignvar"
+
+    def test_copy_assignment(self):
+        insts = instructions_of("x = y;")
+        assert insts[0].kind == "cpvar"
+
+    def test_temporaries_with_rmvar(self):
+        # a*b feeds +, and the temp dies immediately after its last use
+        opcodes = opcodes_of("x = a * b + c;")
+        assert opcodes == ["*", "+", "rmvar"]
+
+    def test_expression_statement_result_removed(self):
+        opcodes = opcodes_of("sum(a + b);")
+        assert opcodes.count("rmvar") == 2  # temp of + and of sum
+
+    def test_tsmm_pattern_detected(self):
+        assert opcodes_of("g = t(X) %*% X;") == ["tsmm"]
+
+    def test_tsmm_not_applied_for_distinct_vars(self):
+        opcodes = opcodes_of("g = t(X) %*% y;")
+        assert "tsmm" not in opcodes
+        assert "mm" in opcodes
+
+    def test_unary_minus_becomes_mul(self):
+        insts = instructions_of("x = -y;")
+        assert insts[0].opcode == "*"
+        assert insts[0].operands[1].value == -1
+
+    def test_indexing_instruction(self):
+        insts = instructions_of("x = X[1:3, 2];")
+        assert isinstance(insts[0], IndexInstruction)
+        assert insts[0].row_spec[0] == "r"
+        assert insts[0].col_spec[0] == "i"
+
+    def test_left_indexing_instruction(self):
+        insts = instructions_of("X[1, ] = y;")
+        assert isinstance(insts[0], LeftIndexInstruction)
+        assert insts[0].output == "X"
+
+    def test_datagen_with_seed(self):
+        insts = instructions_of("x = rand(rows=2, cols=2, seed=4);")
+        assert isinstance(insts[0], DataGenInstruction)
+        assert insts[0].seed_operand is not None
+
+    def test_datagen_defaults_filled(self):
+        insts = instructions_of("x = rand(rows=2, cols=2);")
+        assert insts[0].seed_operand is None
+        assert len(insts[0].operands) == 6  # rows cols min max sparsity pdf
+
+    def test_min_one_and_two_args(self):
+        assert opcodes_of("x = min(a);")[0] == "min"
+        assert opcodes_of("x = min(a, b);")[0] == "min2"
+
+    def test_variadic_cbind(self):
+        insts = instructions_of("x = cbind(a, b, c);")
+        assert insts[0].opcode == "cbind"
+        assert len(insts[0].operands) == 3
+
+
+class TestControlBlocks:
+    def test_if_block_structure(self):
+        program = compile_("if (a > 1) { x = 1; } else { x = 2; }")
+        block = program.blocks[0]
+        assert isinstance(block, IfBlock)
+        assert block.cond_block.instructions[0].opcode == ">"
+
+    def test_for_block_range(self):
+        program = compile_("for (i in 1:10) x = i;")
+        block = program.blocks[0]
+        assert isinstance(block, ForBlock)
+        assert block.range_ops is not None
+        assert not block.parallel
+
+    def test_parfor_flag(self):
+        program = compile_("parfor (i in 1:10) x = i;")
+        assert program.blocks[0].parallel
+
+    def test_for_over_vector_var(self):
+        program = compile_("for (v in vals) x = v;")
+        assert program.blocks[0].seq_var == "vals"
+
+    def test_while_block(self):
+        program = compile_("while (i < 5) i = i + 1;")
+        assert isinstance(program.blocks[0], WhileBlock)
+
+    def test_statements_between_control_split_blocks(self):
+        program = compile_("x = 1; if (x) y = 2; z = 3;")
+        kinds = [type(b).__name__ for b in program.blocks]
+        assert kinds == ["BasicBlock", "IfBlock", "BasicBlock"]
+
+
+class TestLivenessAnnotations:
+    def test_block_inputs_outputs(self):
+        program = compile_("y = x + 1; z = y * 2;")
+        block = program.blocks[0]
+        assert "x" in block.inputs
+        assert {"y", "z"} <= set(block.outputs)
+
+    def test_loop_inputs_include_carried_vars(self):
+        program = compile_("for (i in 1:3) acc = acc + i;")
+        loop = program.blocks[0]
+        assert "acc" in loop.inputs
+        assert "acc" in loop.outputs
+
+
+class TestDedupTagging:
+    def test_last_level_loop(self):
+        program = compile_("for (i in 1:3) x = x + i;")
+        assert program.blocks[0].last_level
+
+    def test_loop_with_call_not_last_level(self):
+        program = compile_("""
+        f = function(a) return (b) { b = a; }
+        for (i in 1:3) x = f(x);
+        """)
+        loop = next(b for b in program.blocks if isinstance(b, ForBlock))
+        assert not loop.last_level
+
+    def test_nested_loop_not_last_level(self):
+        program = compile_("for (i in 1:3) for (j in 1:3) x = x + 1;")
+        assert not program.blocks[0].last_level
+        assert program.blocks[0].body[0].last_level
+
+    def test_branch_ids_assigned(self):
+        program = compile_("""
+        for (i in 1:4) {
+          if (i > 1) x = 1;
+          if (i > 2) x = 2;
+        }
+        """)
+        loop = program.blocks[0]
+        assert loop.num_branches == 2
+        ids = [b.branch_id for b in loop.body
+               if isinstance(b, IfBlock)]
+        assert ids == [0, 1]
+
+
+class TestDeterminismTagging:
+    def test_plain_function_deterministic(self):
+        program = compile_("""
+        f = function(a) return (b) { b = a + 1; }
+        x = f(1);
+        """)
+        assert program.functions["f"].deterministic
+
+    def test_unseeded_rand_makes_nondeterministic(self):
+        program = compile_("""
+        f = function(n) return (b) { b = rand(rows=n, cols=1); }
+        x = f(1);
+        """)
+        assert not program.functions["f"].deterministic
+
+    def test_seeded_rand_stays_deterministic(self):
+        program = compile_("""
+        f = function(n) return (b) { b = rand(rows=n, cols=1, seed=1); }
+        x = f(1);
+        """)
+        assert program.functions["f"].deterministic
+
+    def test_nondeterminism_propagates_through_calls(self):
+        program = compile_("""
+        g = function(n) return (b) { b = rand(rows=n, cols=1); }
+        f = function(n) return (b) { b = g(n) + 1; }
+        x = f(1);
+        """)
+        assert not program.functions["f"].deterministic
+
+
+class TestReuseCandidates:
+    def test_heavy_block_marked(self):
+        program = compile_("C = t(X) %*% X; s = solve(C, b);")
+        assert program.blocks[0].reuse_candidate
+
+    def test_cheap_block_not_marked(self):
+        program = compile_("x = a + b; y = x * 2;")
+        assert not program.blocks[0].reuse_candidate
+
+    def test_nondeterministic_block_not_marked(self):
+        program = compile_(
+            "r = rand(rows=9, cols=9); C = t(r) %*% r; s = solve(C, C);")
+        assert not program.blocks[0].reuse_candidate
+
+
+class TestBuiltinScripts:
+    def test_library_function_loaded_on_demand(self):
+        program = compile_("B = lmDS(X, y, 0, 0.1, FALSE);")
+        assert "lmDS" in program.functions
+        assert "scaleAndShift" in program.functions  # dependency
+
+    def test_signature_errors(self):
+        with pytest.raises(LimaCompileError):
+            compile_("x = nrow();")
+        with pytest.raises(LimaCompileError):
+            compile_("x = nrow(a, b);")
+        with pytest.raises(LimaCompileError):
+            compile_("x = rand(rows=1, cols=1, bogus=2);")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(LimaCompileError):
+            compile_("x = frobnicate(1);")
+
+    def test_print_not_an_expression(self):
+        with pytest.raises(LimaCompileError):
+            compile_("x = print('no');")
+
+    def test_duplicate_argument_rejected(self):
+        with pytest.raises(LimaCompileError):
+            compile_("""
+            f = function(a, b) return (c) { c = a; }
+            x = f(1, a = 2);
+            """)
+
+    def test_multiassign_arity_checked(self):
+        with pytest.raises(LimaCompileError):
+            compile_("[a, b, c] = eigen(X);")
+
+
+class TestUnmarking:
+    def test_loop_carried_unmarked_with_assist(self):
+        program = compile_("for (i in 1:5) x = x + i;",
+                           compiler_assist=True, lineage=True,
+                           reuse_full=True)
+        body = program.blocks[0].body[0]
+        assert any(inst.unmarked for inst in body.instructions
+                   if isinstance(inst, ComputeInstruction))
+
+    def test_loop_invariant_not_unmarked(self):
+        program = compile_("""
+        for (i in 1:5) {
+          g = t(X) %*% X;
+          x = x + sum(g);
+        }
+        """, compiler_assist=True, lineage=True, reuse_full=True)
+        body = program.blocks[0].body[0]
+        tsmm = next(inst for inst in body.instructions
+                    if inst.opcode == "tsmm")
+        assert not tsmm.unmarked
+
+    def test_no_unmarking_without_assist(self):
+        program = compile_("for (i in 1:5) x = x + i;")
+        body = program.blocks[0].body[0]
+        assert not any(inst.unmarked for inst in body.instructions)
+
+
+class TestCaTsmmRewrite:
+    def test_pattern_rewritten_in_loop(self):
+        program = compile_("""
+        for (i in 1:5) {
+          Z = cbind(X, Y[, i]);
+          g = t(Z) %*% Z;
+          s = sum(g);
+        }
+        """, compiler_assist=True, lineage=True, reuse_full=True)
+        body_ops = []
+        for block in program.blocks[0].body:
+            body_ops.extend(i.opcode for i in block.instructions)
+        assert "cbind" in body_ops   # the small compensation cbinds
+        assert "rbind" in body_ops   # block assembly
+        assert body_ops.count("tsmm") == 2  # tsmm(X) and tsmm(dx)
+
+    def test_not_rewritten_outside_loops(self):
+        program = compile_("Z = cbind(X, d); g = t(Z) %*% Z;",
+                           compiler_assist=True, lineage=True,
+                           reuse_full=True)
+        ops = [i.opcode for i in program.blocks[0].instructions]
+        assert ops.count("tsmm") == 1

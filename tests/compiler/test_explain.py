@@ -1,0 +1,80 @@
+"""Tests of the plan-explain utility."""
+
+import pytest
+
+from repro.compiler import compile_script
+from repro.compiler.explain import explain, render_instruction
+from repro.config import LimaConfig
+
+
+def explained(text, **cfg):
+    config = LimaConfig.base().with_(**cfg) if cfg else LimaConfig.base()
+    return explain(compile_script(text, config))
+
+
+class TestExplain:
+    def test_basic_block_rendering(self):
+        out = explained("x = a + b; y = t(x) %*% x;")
+        assert "GENERIC" in out
+        assert "+ a b -> x" in out
+        assert "tsmm x" in out
+
+    def test_fig2_style_variable_ops(self):
+        out = explained("x = a * b + c;")
+        assert "rmvar" in out
+
+    def test_control_flow_structure(self):
+        out = explained("""
+        for (i in 1:3) {
+          if (i > 1) x = i;
+        }
+        while (x < 10) x = x + 1;
+        """)
+        assert "FOR i in 1:3" in out
+        assert "IF (branch id 0)" in out
+        assert "WHILE" in out
+
+    def test_parfor_and_dedup_flags(self):
+        out = explained("parfor (i in 1:4) x = i;")
+        assert "PARFOR" in out
+        out = explained("for (i in 1:4) x = x + i;")
+        assert "dedup-eligible (0 branches)" in out
+
+    def test_function_rendering_with_determinism(self):
+        out = explained("""
+        f = function(a) return (b) { b = rand(rows=a, cols=1); }
+        x = f(3);
+        """)
+        assert "FUNCTION f(a) -> (b)" in out
+        assert "non-deterministic" in out
+        assert "seed=<system>" in out
+
+    def test_unmarked_annotation_with_assist(self):
+        out = explained("for (i in 1:5) x = x + i;",
+                        compiler_assist=True, lineage=True,
+                        reuse_full=True)
+        assert "[unmarked]" in out
+
+    def test_reuse_candidate_annotation(self):
+        out = explained("C = t(X) %*% X; s = solve(C, C);")
+        assert "reuse-candidate" in out
+
+    def test_fused_rendering(self):
+        out = explained("x = (a + b) * c;", fusion=True)
+        assert "fused{" in out
+
+    def test_indexing_rendering(self):
+        out = explained("x = X[1:3, 2]; X[1, ] = x;")
+        assert "rightIndex X[1:3, 2]" in out
+        assert "leftIndex X[1, :]" in out
+
+    def test_multireturn_rendering(self):
+        out = explained("[v, e] = eigen(C);")
+        assert "eigen C -> v,e" in out
+
+    def test_fcall_rendering(self):
+        out = explained("""
+        f = function(a) return (b) { b = a; }
+        x = f(1);
+        """)
+        assert "fcall f 1 -> x" in out

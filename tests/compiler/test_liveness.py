@@ -1,0 +1,102 @@
+"""Unit tests for live-variable analysis."""
+
+import pytest
+
+from repro.compiler import compile_script
+from repro.compiler.liveness import (block_uses_defs, loop_carried_vars,
+                                     region_uses_defs)
+from repro.compiler.program import BasicBlock, ForBlock, IfBlock
+from repro.config import LimaConfig
+
+
+def blocks_of(text):
+    return compile_script(text, LimaConfig.base()).blocks
+
+
+class TestStraightLine:
+    def test_use_before_def(self):
+        block = blocks_of("y = x + 1; z = y * x;")[0]
+        uses, defs = block_uses_defs(block)
+        assert uses == {"x"}
+        assert {"y", "z"} <= defs
+
+    def test_redefined_var_not_an_input(self):
+        block = blocks_of("x = 1; y = x + 1;")[0]
+        uses, _ = block_uses_defs(block)
+        assert "x" not in uses
+
+    def test_self_update_is_an_input(self):
+        block = blocks_of("x = x + 1;")[0]
+        uses, defs = block_uses_defs(block)
+        assert "x" in uses and "x" in defs
+
+
+class TestControlFlow:
+    def test_if_inputs_union_branches(self):
+        block = blocks_of("if (c > 0) y = a; else y = b;")[0]
+        uses, defs = block_uses_defs(block)
+        assert {"c", "a", "b"} <= uses
+        assert "y" in defs
+
+    def test_loop_carried_counts_as_use(self):
+        loop = blocks_of("for (i in 1:3) acc = acc + x;")[0]
+        uses, defs = block_uses_defs(loop)
+        assert {"acc", "x"} <= uses
+        assert "acc" in defs
+
+    def test_loop_var_is_def_not_use(self):
+        loop = blocks_of("for (i in 1:3) y = i;")[0]
+        uses, defs = block_uses_defs(loop)
+        assert "i" not in uses
+        assert "i" in defs
+
+    def test_while_cond_vars_are_uses(self):
+        loop = blocks_of("while (n > 0) n = n - 1;")[0]
+        uses, _ = block_uses_defs(loop)
+        assert "n" in uses
+
+    def test_region_sequencing(self):
+        program = blocks_of("a = x; b = a + y;")
+        uses, defs = region_uses_defs(program)
+        assert uses == {"x", "y"}
+        assert {"a", "b"} <= defs
+
+
+class TestLoopCarried:
+    def test_detects_accumulator(self):
+        loop = blocks_of("for (i in 1:3) { s = s + i; t = i * 2; }")[0]
+        carried = loop_carried_vars(loop.body)
+        assert "s" in carried
+        assert "t" not in carried
+
+    def test_chained_updates(self):
+        loop = blocks_of("""
+        for (i in 1:3) {
+          a = b + 1;
+          b = a * 2;
+        }
+        """)[0]
+        carried = loop_carried_vars(loop.body)
+        assert "b" in carried  # read (via a = b+1) before redefined
+
+
+class TestRmvarPlacement:
+    def test_rmvar_after_last_use(self):
+        block = blocks_of("x = (a + b) * (c + d);")[0]
+        ops = [i.opcode for i in block.instructions]
+        # two temps from the adds die right after the multiply
+        assert ops == ["+", "+", "*", "rmvar", "rmvar"]
+
+    def test_user_vars_never_removed(self):
+        block = blocks_of("x = a + b; y = x * 2;")[0]
+        removed = [i.dst for i in block.instructions
+                   if i.opcode == "rmvar"]
+        assert "x" not in removed and "y" not in removed
+
+    def test_cond_predicate_temp_protected(self):
+        program = blocks_of("if (a + 1 > 2) x = 1;")
+        cond = program[0].cond_block
+        # the predicate temp must survive the cond block
+        pred = program[0].pred.name
+        removed = [i.dst for i in cond.instructions if i.opcode == "rmvar"]
+        assert pred not in removed

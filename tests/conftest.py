@@ -1,0 +1,49 @@
+"""Shared fixtures for the LIMA reproduction test suite."""
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_x(rng):
+    """A 60x8 standard-normal feature matrix."""
+    return rng.standard_normal((60, 8))
+
+
+@pytest.fixture
+def small_y(rng, small_x):
+    """Targets linearly derived from ``small_x`` plus noise."""
+    w = rng.standard_normal((8, 1))
+    return small_x @ w + 0.05 * rng.standard_normal((60, 1))
+
+
+@pytest.fixture
+def base_session():
+    return LimaSession(LimaConfig.base())
+
+
+@pytest.fixture
+def lima_session():
+    return LimaSession(LimaConfig.hybrid())
+
+
+@pytest.fixture
+def lt_session():
+    return LimaSession(LimaConfig.lt())
+
+
+def run_value(session: LimaSession, script: str, inputs=None, var="out"):
+    """Run a script and export one variable."""
+    return session.run(script, inputs=inputs or {}).get(var)
+
+
+@pytest.fixture
+def run():
+    return run_value

@@ -1,0 +1,151 @@
+"""Tests of frames and the transform-encode builtins."""
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+from repro.data.values import FrameValue, wrap
+from repro.errors import LimaRuntimeError, LimaValueError
+from repro.runtime import kernels as K
+
+
+@pytest.fixture
+def frame():
+    return np.array([["red", "s"], ["blue", "m"], ["red", "l"],
+                     ["green", "s"]], dtype=object)
+
+
+class TestFrameValue:
+    def test_coerces_to_strings(self):
+        f = FrameValue(np.array([[1, "a"]], dtype=object))
+        assert f.data[0, 0] == "1"
+
+    def test_1d_becomes_column(self):
+        f = FrameValue(np.array(["a", "b"], dtype=object))
+        assert f.shape == (2, 1)
+
+    def test_rejects_3d(self):
+        with pytest.raises(LimaValueError):
+            FrameValue(np.empty((2, 2, 2), dtype=object))
+
+    def test_wrap_object_array(self, frame):
+        assert isinstance(wrap(frame), FrameValue)
+
+    def test_wrap_unicode_array(self):
+        assert isinstance(wrap(np.array([["a"]])), FrameValue)
+
+    def test_nbytes_positive(self, frame):
+        assert FrameValue(frame).nbytes() > 0
+
+
+class TestRecodeEncode:
+    def test_lexicographic_codes(self, frame):
+        out = K.recode_encode(FrameValue(frame))
+        # column 1: blue=1, green=2, red=3
+        np.testing.assert_array_equal(out.data[:, 0], [3, 1, 3, 2])
+        # column 2: l=1, m=2, s=3
+        np.testing.assert_array_equal(out.data[:, 1], [3, 2, 1, 3])
+
+    def test_deterministic_regardless_of_row_order(self, frame):
+        a = K.recode_encode(FrameValue(frame))
+        b = K.recode_encode(FrameValue(frame[::-1].copy()))
+        np.testing.assert_array_equal(a.data, b.data[::-1])
+
+    def test_rejects_matrix(self):
+        from repro.data.values import MatrixValue
+        with pytest.raises(LimaValueError):
+            K.recode_encode(MatrixValue(np.ones((2, 2))))
+
+
+class TestBinEncode:
+    def test_equi_width_bins(self):
+        from repro.data.values import MatrixValue
+        x = MatrixValue(np.array([[0.0], [0.5], [1.0]]))
+        out = K.bin_encode(x, 2)
+        np.testing.assert_array_equal(out.data.ravel(), [1, 2, 2])
+
+    def test_constant_column_single_bin(self):
+        from repro.data.values import MatrixValue
+        out = K.bin_encode(MatrixValue(np.full((4, 1), 7.0)), 10)
+        assert set(out.data.ravel()) == {1.0}
+
+    def test_bins_bounded(self, rng):
+        from repro.data.values import MatrixValue
+        out = K.bin_encode(MatrixValue(rng.standard_normal((100, 3))), 10)
+        assert out.data.min() >= 1 and out.data.max() <= 10
+
+    def test_zero_bins_rejected(self):
+        from repro.data.values import MatrixValue
+        with pytest.raises(LimaRuntimeError):
+            K.bin_encode(MatrixValue(np.ones((2, 1))), 0)
+
+
+class TestOneHotEncode:
+    def test_block_expansion(self):
+        from repro.data.values import MatrixValue
+        codes = MatrixValue(np.array([[1.0, 2.0], [2.0, 1.0]]))
+        out = K.one_hot_encode(codes)
+        np.testing.assert_array_equal(out.data,
+                                      [[1, 0, 0, 1], [0, 1, 1, 0]])
+
+    def test_rows_sum_to_num_columns(self, rng):
+        from repro.data.values import MatrixValue
+        codes = MatrixValue(rng.integers(1, 5, (30, 4)).astype(float))
+        out = K.one_hot_encode(codes)
+        np.testing.assert_array_equal(out.data.sum(axis=1),
+                                      np.full(30, 4.0))
+
+    def test_zero_based_codes_rejected(self):
+        from repro.data.values import MatrixValue
+        with pytest.raises(LimaRuntimeError):
+            K.one_hot_encode(MatrixValue(np.array([[0.0]])))
+
+
+class TestScriptIntegration:
+    SCRIPT = """
+    codes = recodeEncode(F);
+    hot = oneHotEncode(codes);
+    out = colSums(hot);
+    """
+
+    def test_end_to_end(self, frame):
+        sess = LimaSession(LimaConfig.base())
+        out = sess.run(self.SCRIPT, inputs={"F": frame}).get("out")
+        assert out.sum() == frame.shape[0] * frame.shape[1]
+
+    def test_frame_slicing_in_script(self, frame):
+        sess = LimaSession(LimaConfig.base())
+        r = sess.run("sub = F[1:2, ]; out = nrow(sub) * 10 + ncol(F);",
+                     inputs={"F": frame})
+        assert r.get("out") == 22
+
+    def test_encoding_reused_across_runs(self, frame):
+        sess = LimaSession(LimaConfig.hybrid())
+        sess.run(self.SCRIPT, inputs={"F": frame})
+        before = sess.stats.hits
+        sess.run(self.SCRIPT, inputs={"F": frame.copy()})
+        assert sess.stats.hits > before
+
+    def test_lineage_recompute_through_encoding(self, frame):
+        sess = LimaSession(LimaConfig.lt())
+        result = sess.run(self.SCRIPT, inputs={"F": frame})
+        again = sess.recompute(result.lineage("out"), inputs={"F": frame})
+        np.testing.assert_array_equal(again, result.get("out"))
+
+    def test_binning_pipeline(self, rng):
+        x = rng.standard_normal((50, 3))
+        sess = LimaSession(LimaConfig.base())
+        script = """
+        bins = binEncode(X, 5);
+        hot = oneHotEncode(bins);
+        out = ncol(hot);
+        """
+        out = sess.run(script, inputs={"X": x}).get("out")
+        assert out <= 15  # at most 5 indicator columns per feature
+
+    def test_base_and_lima_agree(self, frame):
+        base = LimaSession(LimaConfig.base()).run(
+            self.SCRIPT, inputs={"F": frame}).get("out")
+        lima = LimaSession(LimaConfig.hybrid()).run(
+            self.SCRIPT, inputs={"F": frame}).get("out")
+        np.testing.assert_array_equal(base, lima)

@@ -1,0 +1,85 @@
+"""Tests of the synthetic dataset generators and surrogates."""
+
+import numpy as np
+import pytest
+
+from repro.data import generators as G
+
+
+class TestBasicGenerators:
+    def test_regression_shapes_and_signal(self):
+        ds = G.regression(200, 10, noise=0.01, seed=1)
+        assert ds.shape == (200, 10)
+        # y is essentially linear in X: OLS residual is tiny
+        beta, *_ = np.linalg.lstsq(ds.X, ds.y, rcond=None)
+        residual = ds.y - ds.X @ beta
+        assert float(np.abs(residual).mean()) < 0.05
+
+    def test_regression_deterministic_by_seed(self):
+        a = G.regression(50, 5, seed=3)
+        b = G.regression(50, 5, seed=3)
+        np.testing.assert_array_equal(a.X, b.X)
+
+    def test_classification_labels_one_based(self):
+        ds = G.classification(100, 4, n_classes=3, seed=2)
+        assert set(np.unique(ds.y)) == {1.0, 2.0, 3.0}
+
+    def test_binary_pm1_labels(self):
+        ds = G.binary_pm1(100, 4, seed=2)
+        assert set(np.unique(ds.y)) == {-1.0, 1.0}
+
+
+class TestApsSurrogate:
+    def test_shape_and_missing_rate(self):
+        ds = G.aps_like(n_rows=500, n_cols=50, missing_rate=0.2, seed=1)
+        assert ds.shape == (500, 50)
+        nan_rate = np.isnan(ds.X).mean()
+        assert 0.15 < nan_rate < 0.25
+
+    def test_minority_class_skew(self):
+        ds = G.aps_like(n_rows=2000, minority_frac=0.02, seed=1)
+        frac = (ds.y == 2.0).mean()
+        assert 0.005 < frac < 0.05
+
+    def test_impute_mean_removes_nans(self):
+        ds = G.aps_like(n_rows=300, n_cols=20, seed=1)
+        clean = G.impute_mean(ds.X)
+        assert not np.isnan(clean).any()
+        # imputed values equal column means of observed entries
+        col = 0
+        observed = ds.X[~np.isnan(ds.X[:, col]), col]
+        imputed = clean[np.isnan(ds.X[:, col]), col]
+        if imputed.size:
+            np.testing.assert_allclose(imputed, observed.mean())
+
+    def test_oversample_reaches_target(self):
+        ds = G.aps_like(n_rows=500, seed=1)
+        X2, y2 = G.oversample_minority(ds.X, ds.y, 600, seed=1)
+        assert X2.shape[0] == 600 and y2.shape[0] == 600
+        # minority fraction strictly increases
+        assert (y2 == 2.0).mean() > (ds.y == 2.0).mean()
+
+    def test_oversample_noop_when_target_met(self):
+        ds = G.aps_like(n_rows=500, seed=1)
+        X2, y2 = G.oversample_minority(ds.X, ds.y, 400, seed=1)
+        assert X2.shape[0] == 500
+
+
+class TestKdd98Surrogate:
+    def test_one_hot_blowup_and_sparsity(self):
+        ds = G.kdd98_like(n_rows=400, n_raw=20, seed=1)
+        assert ds.X.shape[1] > 20 * 4  # raw columns expand substantially
+        assert (ds.X != 0).mean() < 0.15
+        # every value is an indicator
+        assert set(np.unique(ds.X)) == {0.0, 1.0}
+
+    def test_rows_one_hot_per_block(self):
+        ds = G.kdd98_like(n_rows=100, n_raw=10, bins=5, categories=4,
+                          seed=1)
+        # each raw feature contributes exactly one 1 per row
+        assert np.all(ds.X.sum(axis=1) == 10)
+
+    def test_target_skewed_nonnegative(self):
+        ds = G.kdd98_like(n_rows=1000, seed=1)
+        assert (ds.y >= 0).all()
+        assert (ds.y == 0).mean() > 0.5  # most donate nothing

@@ -1,0 +1,90 @@
+"""Tests of dataset/matrix file I/O and the runtime read/write path."""
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+from repro.data import io as dio
+from repro.data.generators import regression
+from repro.errors import LimaError
+
+
+class TestMatrixIO:
+    def test_npy_roundtrip(self, tmp_path, small_x):
+        path = str(tmp_path / "m.npy")
+        dio.save_matrix(small_x, path)
+        np.testing.assert_array_equal(dio.load_matrix(path), small_x)
+
+    def test_csv_roundtrip(self, tmp_path, small_x):
+        path = str(tmp_path / "m.csv")
+        dio.save_matrix(small_x, path)
+        np.testing.assert_allclose(dio.load_matrix(path), small_x)
+
+    def test_vector_becomes_2d(self, tmp_path):
+        path = str(tmp_path / "v.npy")
+        dio.save_matrix(np.arange(4.0), path)
+        assert dio.load_matrix(path).ndim == 2
+
+    def test_unknown_extension(self, tmp_path):
+        with pytest.raises(LimaError):
+            dio.save_matrix(np.ones((2, 2)), str(tmp_path / "m.parquet"))
+        with pytest.raises(LimaError):
+            dio.load_matrix(str(tmp_path / "m.parquet"))
+
+
+class TestDatasetIO:
+    def test_roundtrip(self, tmp_path):
+        ds = regression(30, 4, seed=9)
+        dio.save_dataset(ds, str(tmp_path / "d"))
+        back = dio.load_dataset(str(tmp_path / "d"))
+        np.testing.assert_array_equal(back.X, ds.X)
+        np.testing.assert_array_equal(back.y, ds.y)
+        assert back.name == ds.name
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(LimaError):
+            dio.load_dataset(str(tmp_path / "missing"))
+
+
+class TestRuntimeReadWrite:
+    def test_script_read_csv(self, tmp_path, small_x):
+        path = tmp_path / "X.csv"
+        dio.save_matrix(small_x, str(path))
+        sess = LimaSession(LimaConfig.base())
+        out = sess.run(f"A = read('{path}'); out = sum(A);").get("out")
+        assert np.isclose(out, small_x.sum())
+
+    def test_script_read_npy(self, tmp_path, small_x):
+        path = tmp_path / "X.npy"
+        dio.save_matrix(small_x, str(path))
+        sess = LimaSession(LimaConfig.base())
+        out = sess.run(f"A = read('{path}'); out = nrow(A);").get("out")
+        assert out == small_x.shape[0]
+
+    def test_script_write_and_lineage_file(self, tmp_path, small_x):
+        out_path = tmp_path / "out.csv"
+        sess = LimaSession(LimaConfig.lt())
+        sess.run(f"B = X * 2; write(B, '{out_path}');",
+                 inputs={"X": small_x})
+        np.testing.assert_allclose(dio.load_matrix(str(out_path)),
+                                   small_x * 2)
+        log = dio.load_lineage_log(str(out_path))
+        assert "input" in log
+
+    def test_lineage_file_replays(self, tmp_path, small_x):
+        out_path = tmp_path / "out.npy"
+        sess = LimaSession(LimaConfig.lt())
+        sess.run(f"B = colSums(X) + 1; write(B, '{out_path}');",
+                 inputs={"X": small_x})
+        replayed = sess.recompute(dio.load_lineage_log(str(out_path)),
+                                  inputs={"X": small_x})
+        np.testing.assert_array_equal(replayed,
+                                      dio.load_matrix(str(out_path)))
+
+    def test_read_lineage_is_stable_leaf(self, tmp_path, small_x):
+        path = tmp_path / "X.npy"
+        dio.save_matrix(small_x, str(path))
+        sess = LimaSession(LimaConfig.lt())
+        r1 = sess.run(f"A = read('{path}'); out = A;")
+        r2 = sess.run(f"A = read('{path}'); out = A;")
+        assert r1.lineage("out") == r2.lineage("out")

@@ -1,0 +1,114 @@
+"""Unit tests for runtime value wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.data.values import (ListValue, MatrixValue, ScalarValue,
+                               StringValue, wrap)
+from repro.errors import LimaValueError
+
+
+class TestMatrixValue:
+    def test_coerces_to_2d_float64(self):
+        v = MatrixValue([1, 2, 3])
+        assert v.shape == (3, 1)
+        assert v.data.dtype == np.float64
+
+    def test_scalar_array_becomes_1x1(self):
+        v = MatrixValue(np.float64(5.0))
+        assert v.shape == (1, 1)
+
+    def test_rejects_3d(self):
+        with pytest.raises(LimaValueError):
+            MatrixValue(np.zeros((2, 2, 2)))
+
+    def test_nbytes(self):
+        v = MatrixValue(np.zeros((10, 10)))
+        assert v.nbytes() == 800
+
+    def test_shape_properties(self):
+        v = MatrixValue(np.zeros((3, 7)))
+        assert v.nrow == 3 and v.ncol == 7
+
+    def test_contiguous(self):
+        v = MatrixValue(np.zeros((4, 4)).T)
+        assert v.data.flags["C_CONTIGUOUS"]
+
+
+class TestScalarValue:
+    def test_bool_int_float(self):
+        assert ScalarValue(True).value is True
+        assert ScalarValue(np.int64(3)).value == 3
+        assert isinstance(ScalarValue(np.float32(2.5)).value, float)
+
+    def test_rejects_non_scalar(self):
+        with pytest.raises(LimaValueError):
+            ScalarValue("abc")
+
+    def test_conversions(self):
+        v = ScalarValue(2.7)
+        assert v.as_int() == 2
+        assert v.as_float() == 2.7
+        assert v.as_bool() is True
+
+    def test_numpy_bool(self):
+        assert ScalarValue(np.bool_(False)).value is False
+
+
+class TestStringValue:
+    def test_value_and_size(self):
+        v = StringValue("hello")
+        assert v.value == "hello"
+        assert v.nbytes() > 5
+
+
+class TestListValue:
+    def test_one_based_access(self):
+        lst = ListValue([ScalarValue(1), ScalarValue(2)])
+        assert lst.get(1).value == 1
+        assert lst.get(2).value == 2
+
+    def test_out_of_range(self):
+        lst = ListValue([ScalarValue(1)])
+        with pytest.raises(LimaValueError):
+            lst.get(0)
+        with pytest.raises(LimaValueError):
+            lst.get(2)
+
+    def test_named_access(self):
+        lst = ListValue([ScalarValue(1)], names=["a"])
+        assert lst.get_by_name("a").value == 1
+        with pytest.raises(LimaValueError):
+            lst.get_by_name("b")
+
+    def test_name_count_mismatch(self):
+        with pytest.raises(LimaValueError):
+            ListValue([ScalarValue(1)], names=["a", "b"])
+
+    def test_iteration_and_len(self):
+        lst = ListValue([ScalarValue(i) for i in range(3)])
+        assert len(lst) == 3
+        assert [v.value for v in lst] == [0, 1, 2]
+
+    def test_nbytes_includes_items(self):
+        small = ListValue([ScalarValue(1)])
+        big = ListValue([MatrixValue(np.zeros((100, 100)))])
+        assert big.nbytes() > small.nbytes()
+
+
+class TestWrap:
+    def test_wrap_kinds(self):
+        assert isinstance(wrap(np.zeros((2, 2))), MatrixValue)
+        assert isinstance(wrap(3), ScalarValue)
+        assert isinstance(wrap(2.5), ScalarValue)
+        assert isinstance(wrap(True), ScalarValue)
+        assert isinstance(wrap("s"), StringValue)
+        assert isinstance(wrap([1, 2]), ListValue)
+
+    def test_wrap_passthrough(self):
+        v = ScalarValue(1)
+        assert wrap(v) is v
+
+    def test_wrap_rejects_unknown(self):
+        with pytest.raises(LimaValueError):
+            wrap(object())

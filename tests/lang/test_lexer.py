@@ -1,0 +1,101 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+
+from repro.errors import LimaSyntaxError
+from repro.lang.lexer import tokenize
+
+
+def types_values(text):
+    return [(t.type, t.value) for t in tokenize(text) if t.type != "EOF"]
+
+
+class TestBasics:
+    def test_identifiers_and_numbers(self):
+        assert types_values("x = 42") == [
+            ("ID", "x"), ("OP", "="), ("NUM", "42")]
+
+    def test_float_and_scientific(self):
+        assert types_values("1.5 2e3 1.5e-2")[0] == ("NUM", "1.5")
+        assert types_values("2e3")[0] == ("NUM", "2e3")
+        assert types_values("1.5e-2")[0] == ("NUM", "1.5e-2")
+
+    def test_keywords(self):
+        toks = types_values("if else for parfor while function return in")
+        assert all(t == "KW" for t, _ in toks)
+
+    def test_true_false_are_keywords(self):
+        assert types_values("TRUE FALSE") == [("KW", "TRUE"), ("KW", "FALSE")]
+
+    def test_dotted_identifier(self):
+        assert types_values("index.return as.scalar") == [
+            ("ID", "index.return"), ("ID", "as.scalar")]
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].type == "EOF"
+
+
+class TestOperators:
+    def test_matmul_operator(self):
+        assert ("OP", "%*%") in types_values("A %*% B")
+
+    def test_modulo_operators(self):
+        assert types_values("a %% b %/% c")[1] == ("OP", "%%")
+        assert types_values("a %/% b")[1] == ("OP", "%/%")
+
+    def test_comparison_maximal_munch(self):
+        assert types_values("a <= b")[1] == ("OP", "<=")
+        assert types_values("a == b")[1] == ("OP", "==")
+        assert types_values("a != b")[1] == ("OP", "!=")
+
+    def test_arrow_assignment(self):
+        assert types_values("x <- 1")[1] == ("OP", "<-")
+
+    def test_logical_doubles(self):
+        assert types_values("a && b")[1] == ("OP", "&&")
+        assert types_values("a || b")[1] == ("OP", "||")
+
+    def test_range_colon(self):
+        assert types_values("1:10") == [
+            ("NUM", "1"), ("OP", ":"), ("NUM", "10")]
+
+
+class TestStringsAndComments:
+    def test_single_and_double_quotes(self):
+        assert types_values("'abc'") == [("STR", "abc")]
+        assert types_values('"abc"') == [("STR", "abc")]
+
+    def test_escapes(self):
+        assert types_values(r"'a\nb'") == [("STR", "a\nb")]
+        assert types_values(r"'a\tb'") == [("STR", "a\tb")]
+        assert types_values(r"'a\'b'") == [("STR", "a'b")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LimaSyntaxError):
+            tokenize("'abc")
+
+    def test_string_with_newline_raises(self):
+        with pytest.raises(LimaSyntaxError):
+            tokenize("'a\nb'")
+
+    def test_comments_stripped(self):
+        assert types_values("x # comment\ny") == [("ID", "x"), ("ID", "y")]
+
+    def test_comment_at_eof(self):
+        assert types_values("# only comment") == []
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        toks = tokenize("x\n  y")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_error_carries_position(self):
+        with pytest.raises(LimaSyntaxError) as err:
+            tokenize("x\n  $")
+        assert err.value.line == 2
+
+    def test_unexpected_character(self):
+        with pytest.raises(LimaSyntaxError):
+            tokenize("x ~ y")

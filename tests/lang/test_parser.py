@@ -1,0 +1,233 @@
+"""Unit tests for the recursive-descent parser."""
+
+import pytest
+
+from repro.errors import LimaSyntaxError
+from repro.lang import ast, parse
+
+
+def first_stmt(text):
+    return parse(text).statements[0]
+
+
+def expr_of(text):
+    stmt = first_stmt(f"x = {text}")
+    assert isinstance(stmt, ast.Assign)
+    return stmt.expr
+
+
+class TestStatements:
+    def test_assignment(self):
+        stmt = first_stmt("x = 1 + 2;")
+        assert isinstance(stmt, ast.Assign)
+        assert stmt.target == "x"
+
+    def test_arrow_assignment(self):
+        stmt = first_stmt("x <- 3")
+        assert isinstance(stmt, ast.Assign)
+
+    def test_indexed_assignment(self):
+        stmt = first_stmt("X[1, 2] = 5;")
+        assert isinstance(stmt, ast.IndexedAssign)
+        assert stmt.target == "X"
+
+    def test_indexed_assignment_with_ranges(self):
+        stmt = first_stmt("X[1:3, ] = Y;")
+        assert isinstance(stmt, ast.IndexedAssign)
+        assert stmt.rows.is_range
+        assert stmt.cols.all
+
+    def test_multi_assignment(self):
+        stmt = first_stmt("[a, b] = eigen(C);")
+        assert isinstance(stmt, ast.MultiAssign)
+        assert stmt.targets == ["a", "b"]
+
+    def test_multi_assignment_requires_call(self):
+        with pytest.raises(LimaSyntaxError):
+            parse("[a, b] = 5;")
+
+    def test_expression_statement(self):
+        stmt = first_stmt("print('hi');")
+        assert isinstance(stmt, ast.ExprStmt)
+        assert isinstance(stmt.expr, ast.Call)
+
+    def test_semicolons_optional(self):
+        script = parse("x = 1\ny = 2")
+        assert len(script.statements) == 2
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        stmt = first_stmt("if (x > 1) { y = 1; } else { y = 2; }")
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.then_body) == 1
+        assert len(stmt.else_body) == 1
+
+    def test_if_without_braces_then_else(self):
+        stmt = first_stmt("if (a) x = 1; else x = 2;")
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.else_body) == 1
+
+    def test_elif_chain(self):
+        stmt = first_stmt("if (a) x = 1; else if (b) x = 2; else x = 3;")
+        inner = stmt.else_body[0]
+        assert isinstance(inner, ast.If)
+        assert len(inner.else_body) == 1
+
+    def test_for_range(self):
+        stmt = first_stmt("for (i in 1:10) { x = i; }")
+        assert isinstance(stmt, ast.For)
+        assert not stmt.parallel
+        assert isinstance(stmt.seq, ast.RangeExpr)
+
+    def test_parfor(self):
+        stmt = first_stmt("parfor (i in 1:4) x = i;")
+        assert stmt.parallel
+
+    def test_for_over_vector(self):
+        stmt = first_stmt("for (v in vals) x = v;")
+        assert isinstance(stmt.seq, ast.Var)
+
+    def test_while(self):
+        stmt = first_stmt("while (i < 10) i = i + 1;")
+        assert isinstance(stmt, ast.While)
+
+    def test_unclosed_block(self):
+        with pytest.raises(LimaSyntaxError):
+            parse("while (1) { x = 1;")
+
+
+class TestFunctions:
+    def test_funcdef_registered(self):
+        script = parse("""
+        f = function(a, b = 2) return (c) { c = a + b; }
+        """)
+        assert "f" in script.functions
+        fdef = script.functions["f"]
+        assert [p.name for p in fdef.params] == ["a", "b"]
+        assert fdef.params[1].default is not None
+        assert fdef.outputs == ["c"]
+
+    def test_funcdef_multiple_outputs(self):
+        script = parse("f = function(a) return (x, y) { x = a; y = a; }")
+        assert script.functions["f"].outputs == ["x", "y"]
+
+    def test_redefinition_raises(self):
+        with pytest.raises(LimaSyntaxError):
+            parse("""
+            f = function(a) return (b) { b = a; }
+            f = function(a) return (b) { b = a; }
+            """)
+
+    def test_call_with_named_args(self):
+        expr = expr_of("rand(rows = 3, cols = 4)")
+        assert isinstance(expr, ast.Call)
+        assert set(expr.named_args) == {"rows", "cols"}
+
+    def test_positional_after_named_raises(self):
+        with pytest.raises(LimaSyntaxError):
+            parse("x = f(a = 1, 2);")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = expr_of("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_matmul_over_mul(self):
+        # %*% binds tighter than * (R semantics)
+        expr = expr_of("a * b %*% c")
+        assert expr.op == "*"
+        assert expr.right.op == "%*%"
+
+    def test_power_right_associative(self):
+        expr = expr_of("2 ^ 3 ^ 2")
+        assert expr.op == "^"
+        assert expr.right.op == "^"
+
+    def test_unary_minus_folds_literals(self):
+        expr = expr_of("-5")
+        assert isinstance(expr, ast.NumLit)
+        assert expr.value == -5
+
+    def test_unary_minus_on_var(self):
+        expr = expr_of("-x")
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_not_operator(self):
+        expr = expr_of("!a & b")
+        assert expr.op == "&"
+        assert isinstance(expr.left, ast.UnaryOp)
+
+    def test_comparison_precedence(self):
+        expr = expr_of("a + 1 < b * 2")
+        assert expr.op == "<"
+
+    def test_range_expression(self):
+        expr = expr_of("1:n")
+        assert isinstance(expr, ast.RangeExpr)
+
+    def test_parentheses(self):
+        expr = expr_of("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_string_and_bool_literals(self):
+        assert isinstance(expr_of("'abc'"), ast.StrLit)
+        assert expr_of("TRUE").value is True
+
+
+class TestIndexing:
+    def test_full_index(self):
+        expr = expr_of("X[1, 2]")
+        assert isinstance(expr, ast.Index)
+        assert expr.rows.index is not None
+        assert expr.cols.index is not None
+
+    def test_all_rows(self):
+        expr = expr_of("X[, 3]")
+        assert expr.rows.all
+        assert not expr.cols.all
+
+    def test_all_cols(self):
+        expr = expr_of("X[2, ]")
+        assert expr.cols.all
+
+    def test_range_spec(self):
+        expr = expr_of("X[1:5, 2:3]")
+        assert expr.rows.is_range
+        assert expr.cols.is_range
+
+    def test_single_spec_is_rows(self):
+        expr = expr_of("v[3]")
+        assert expr.rows.index is not None
+        assert expr.cols.all
+
+    def test_vector_index(self):
+        expr = expr_of("X[, s]")
+        assert isinstance(expr.cols.index, ast.Var)
+
+    def test_chained_indexing(self):
+        expr = expr_of("X[1:2, ][1, ]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.obj, ast.Index)
+
+    def test_expression_in_bounds(self):
+        expr = expr_of("X[(i - 1) * b + 1 : i * b, ]")
+        assert expr.rows.is_range
+
+
+class TestErrors:
+    def test_unexpected_token(self):
+        with pytest.raises(LimaSyntaxError):
+            parse("x = ;")
+
+    def test_missing_paren(self):
+        with pytest.raises(LimaSyntaxError):
+            parse("x = (1 + 2;")
+
+    def test_error_position(self):
+        with pytest.raises(LimaSyntaxError) as err:
+            parse("x = 1\ny = *")
+        assert err.value.line == 2

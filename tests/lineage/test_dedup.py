@@ -1,0 +1,200 @@
+"""Tests of lineage deduplication (Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+from repro.errors import LineageError
+from repro.lineage.dedup import (DedupTracker, LineagePatch, PatchNode,
+                                 extract_patch, make_dedup_items,
+                                 register_patch)
+from repro.lineage.item import LineageItem, literal_item
+
+
+def run_lineage(script, inputs, config, var="out"):
+    sess = LimaSession(config)
+    return sess.run(script, inputs=inputs).lineage(var)
+
+
+LOOP = "out = X; for (i in 1:10) { out = out * 2 + i; }"
+
+BRANCHY = """
+out = X;
+for (i in 1:10) {
+  if (i %% 2 == 0)
+    out = out + i;
+  else
+    out = out * 2;
+}
+"""
+
+
+class TestDedupCorrectness:
+    def test_values_unchanged(self, small_x):
+        base = LimaSession(LimaConfig.base()).run(LOOP, inputs={"X": small_x})
+        ltd = LimaSession(LimaConfig.ltd()).run(LOOP, inputs={"X": small_x})
+        np.testing.assert_array_equal(base.get("out"), ltd.get("out"))
+
+    def test_dedup_equals_plain_lineage(self, small_x):
+        dd = run_lineage(LOOP, {"X": small_x}, LimaConfig.ltd())
+        plain = run_lineage(LOOP, {"X": small_x}, LimaConfig.lt())
+        assert dd.opcode == "dout"
+        assert dd == plain
+        assert plain == dd  # symmetric
+
+    def test_dedup_shrinks_dag(self, small_x):
+        # per iteration, dedup adds ~3 items (dedup + dout + index
+        # literal) regardless of body size, so a 10-op body shrinks >3x
+        script = ("out = X; for (i in 1:20) { "
+                  "out = ((((out + 1) * 2 - 3) / 4 + out) * 0.5"
+                  " + out / 2 - 1) * 0.1 + i; }")
+        dd = run_lineage(script, {"X": small_x}, LimaConfig.ltd())
+        plain = run_lineage(script, {"X": small_x}, LimaConfig.lt())
+        assert dd.num_nodes() * 3 < plain.num_nodes()
+
+    def test_resolve_expands_to_plain(self, small_x):
+        dd = run_lineage(LOOP, {"X": small_x}, LimaConfig.ltd())
+        plain = run_lineage(LOOP, {"X": small_x}, LimaConfig.lt())
+        expanded = dd.resolve()
+        assert expanded.opcode == plain.opcode
+        assert expanded == plain
+
+    def test_branches_produce_distinct_patches(self, small_x):
+        dd = run_lineage(BRANCHY, {"X": small_x}, LimaConfig.ltd())
+        plain = run_lineage(BRANCHY, {"X": small_x}, LimaConfig.lt())
+        assert dd == plain
+        # two distinct control paths => two distinct patch uids
+        uids = {item.data for item in dd.iter_dag()
+                if item.opcode == "dedup"}
+        assert len(uids) == 2
+
+    def test_branchy_values_unchanged(self, small_x):
+        base = LimaSession(LimaConfig.base()).run(BRANCHY,
+                                                  inputs={"X": small_x})
+        ltd = LimaSession(LimaConfig.ltd()).run(BRANCHY,
+                                                inputs={"X": small_x})
+        np.testing.assert_array_equal(base.get("out"), ltd.get("out"))
+
+    def test_nondeterminism_seeds_as_dedup_inputs(self, small_x):
+        script = """
+        out = X[1:4, 1:4];
+        for (i in 1:5) { out = out * 0 + rand(rows=4, cols=4); }
+        """
+        cfg = LimaConfig.ltd()
+        sess = LimaSession(cfg)
+        item = sess.run(script, inputs={"X": small_x}).lineage("out")
+        dedups = [i for i in item.iter_dag() if i.opcode == "dedup"]
+        assert dedups, "expected dedup items"
+        assert any(inp.opcode == "SL" for inp in dedups[0].inputs)
+
+    def test_nondeterministic_loop_recomputes_exactly(self, small_x):
+        script = """
+        out = X[1:4, 1:4];
+        for (i in 1:5) { out = out + rand(rows=4, cols=4); }
+        """
+        sess = LimaSession(LimaConfig.ltd())
+        result = sess.run(script, inputs={"X": small_x})
+        recomputed = sess.recompute(result.lineage("out"),
+                                    inputs={"X": small_x})
+        np.testing.assert_array_equal(result.get("out"), recomputed)
+
+    def test_while_loop_dedup(self, small_x):
+        script = """
+        out = X;
+        i = 0;
+        while (i < 6) { out = out * 2; i = i + 1; }
+        """
+        dd = run_lineage(script, {"X": small_x}, LimaConfig.ltd())
+        plain = run_lineage(script, {"X": small_x}, LimaConfig.lt())
+        assert dd == plain
+
+    def test_function_call_in_body_disables_dedup(self, small_x):
+        script = """
+        f = function(A) return (B) { B = A + 1; }
+        out = X;
+        for (i in 1:3) out = f(out);
+        """
+        item = run_lineage(script, {"X": small_x}, LimaConfig.ltd())
+        assert all(i.opcode != "dedup" for i in item.iter_dag())
+
+
+class TestDedupPrimitives:
+    def make_patch(self):
+        ph = LineageItem("PH", (), "0")
+        add = LineageItem("+", [ph, literal_item(1)])
+        patch, seeds = extract_patch({"x": add}, 1)
+        return patch
+
+    def test_extract_patch_shapes(self):
+        patch = self.make_patch()
+        assert patch.num_inputs == 1
+        assert patch.num_seeds == 0
+        assert len(patch.nodes) == 2  # literal + add
+        assert "x" in patch.outputs
+
+    def test_register_is_content_addressed(self):
+        p1 = self.make_patch()
+        p2 = self.make_patch()
+        assert p1 is p2
+
+    def test_fold_hashes_match_expansion(self):
+        patch = self.make_patch()
+        inp = LineageItem("input", (), "X:1")
+        folded = patch.fold_hashes([hash(inp)])
+        expanded = patch.expand([inp])
+        assert folded["x"] == hash(expanded["x"])
+
+    def test_make_dedup_items_hash_equals_expanded(self):
+        patch = self.make_patch()
+        inp = LineageItem("input", (), "X:1")
+        dedup, douts = make_dedup_items(patch, [inp], [])
+        expanded = patch.expand([inp])
+        assert hash(douts["x"]) == hash(expanded["x"])
+        assert douts["x"] == expanded["x"]
+
+    def test_make_dedup_items_validates_arity(self):
+        patch = self.make_patch()
+        with pytest.raises(LineageError):
+            make_dedup_items(patch, [], [])
+        with pytest.raises(LineageError):
+            make_dedup_items(patch, [LineageItem("input", (), "X:1")], [7])
+
+    def test_passthrough_output(self):
+        ph = LineageItem("PH", (), "0")
+        patch, _ = extract_patch({"same": ph}, 1)
+        inp = LineageItem("input", (), "X:1")
+        _, douts = make_dedup_items(patch, [inp], [])
+        assert douts["same"] == inp
+
+    def test_nested_dedup_rejected(self):
+        ph = LineageItem("PH", (), "0")
+        inner = LineageItem("dout", [LineageItem("dedup", [ph], "ff")],
+                            "x", hash_override=1)
+        with pytest.raises(LineageError):
+            extract_patch({"x": LineageItem("+", [inner, ph])}, 1)
+
+
+class TestDedupTracker:
+    def test_fast_mode_after_all_paths(self):
+        tracker = DedupTracker(["x"], num_branches=0)
+        assert not tracker.fast_mode
+        ph = tracker.placeholders[0]
+        tracker.begin_iteration()
+        root = LineageItem("+", [ph, literal_item(1)])
+        tracker.finish_iteration({"x": root})
+        assert tracker.fast_mode
+
+    def test_branch_bits(self):
+        tracker = DedupTracker(["x"], num_branches=2)
+        tracker.begin_iteration()
+        tracker.record_branch(0, True)
+        tracker.record_branch(1, False)
+        assert tracker.path_key() == "1"
+        tracker.begin_iteration()
+        tracker.record_branch(1, True)
+        assert tracker.path_key() == "10"
+
+    def test_fast_mode_without_patch_raises(self):
+        tracker = DedupTracker(["x"], num_branches=0)
+        with pytest.raises(LineageError):
+            tracker.finish_iteration(None)

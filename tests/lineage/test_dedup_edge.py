@@ -1,0 +1,118 @@
+"""Edge-case tests of lineage deduplication."""
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+
+
+def run_both(script, inputs, var="out"):
+    base = LimaSession(LimaConfig.base()).run(script, inputs=inputs,
+                                              seed=4).get(var)
+    sess = LimaSession(LimaConfig.ltd())
+    result = sess.run(script, inputs=inputs, seed=4)
+    return base, result
+
+
+class TestDedupEdgeCases:
+    def test_many_branches_fall_back_gracefully(self, small_x):
+        """Bodies with > 10 branches skip dedup (exponential patches) but
+        still trace and compute correctly."""
+        conds = "\n".join(
+            f"if (i %% {k + 2} == 0) out = out + {k};"
+            for k in range(12))
+        script = f"out = X; for (i in 1:6) {{ {conds} }}"
+        base, result = run_both(script, {"X": small_x})
+        np.testing.assert_array_equal(result.get("out"), base)
+        assert all(item.opcode != "dedup"
+                   for item in result.lineage("out").iter_dag())
+
+    def test_reentered_loop_reuses_patches(self, small_x):
+        """Entering the same loop block twice (epochs) reuses trackers."""
+        script = """
+        out = X;
+        for (ep in 1:2) {
+          for (i in 1:5) { out = out * 0.5 + i; }
+        }
+        """
+        # outer loop is not last-level, inner is; patches persist across
+        # the two entries of the inner loop
+        base, result = run_both(script, {"X": small_x})
+        np.testing.assert_array_equal(result.get("out"), base)
+        dedups = [i for i in result.lineage("out").iter_dag()
+                  if i.opcode == "dedup"]
+        patches = {i.data for i in dedups}
+        assert len(dedups) == 10
+        assert len(patches) == 1  # one shared patch across both entries
+
+    def test_loop_writing_multiple_outputs(self, small_x):
+        script = """
+        a = X;
+        b = X * 2;
+        for (i in 1:4) {
+          a = a + i;
+          b = b * 0.9 + a * 0.1;
+        }
+        out = a + b;
+        """
+        base, result = run_both(script, {"X": small_x})
+        np.testing.assert_allclose(result.get("out"), base)
+        plain = LimaSession(LimaConfig.lt()).run(
+            script, inputs={"X": small_x}, seed=4)
+        assert result.lineage("out") == plain.lineage("out")
+
+    def test_branch_changing_outputs_per_path(self, small_x):
+        """Different control paths define different variables; each path
+        gets its own patch with its own output set."""
+        script = """
+        a = X; b = X;
+        for (i in 1:6) {
+          if (i %% 2 == 0)
+            a = a + 1;
+          else
+            b = b - 1;
+        }
+        out = a + b;
+        """
+        base, result = run_both(script, {"X": small_x})
+        np.testing.assert_array_equal(result.get("out"), base)
+        patches = {i.data for i in result.lineage("out").iter_dag()
+                   if i.opcode == "dedup"}
+        assert len(patches) == 2
+
+    def test_dedup_loop_feeding_reconstruction(self, small_x):
+        script = """
+        out = X;
+        for (i in 1:3) {
+          if (i == 2) out = out * 2;
+          else out = out + i;
+        }
+        """
+        _, result = run_both(script, {"X": small_x})
+        sess = LimaSession(LimaConfig.base())
+        from repro.lineage.reconstruct import recompute
+        value = recompute(result.lineage("out"), {"X": small_x})
+        np.testing.assert_array_equal(value.data, result.get("out"))
+
+    def test_scalar_only_loop(self):
+        script = "out = 0; for (i in 1:20) { out = out + i * i; }"
+        base, result = run_both(script, {})
+        assert result.get("out") == base == 2870
+
+    def test_loop_over_vector_with_dedup(self, small_x):
+        script = """
+        vals = seq(2, 10, 2);
+        out = X;
+        for (v in vals) { out = out + v; }
+        """
+        base, result = run_both(script, {"X": small_x})
+        np.testing.assert_array_equal(result.get("out"), base)
+
+    def test_empty_patch_outputs_are_safe(self, small_x):
+        # the loop writes only the (ignored) loop-local temp chain
+        script = """
+        out = sum(X);
+        for (i in 1:3) { tmp = i * 2; }
+        """
+        base, result = run_both(script, {"X": small_x})
+        assert result.get("out") == base

@@ -1,0 +1,113 @@
+"""Unit tests for lineage items: hashing, equality, traversal."""
+
+import pytest
+
+from repro.lineage.item import (LineageItem, literal_item, parse_literal)
+
+
+def leaf(tag):
+    return LineageItem("input", (), tag)
+
+
+class TestConstruction:
+    def test_ids_are_unique_and_monotone(self):
+        a, b = leaf("a"), leaf("b")
+        assert a.id < b.id
+
+    def test_height_of_leaf_is_zero(self):
+        assert leaf("a").height == 0
+
+    def test_height_increases(self):
+        a = leaf("a")
+        b = LineageItem("t", [a])
+        c = LineageItem("mm", [b, a])
+        assert b.height == 1
+        assert c.height == 2
+
+    def test_inputs_are_immutable_tuple(self):
+        item = LineageItem("mm", [leaf("a"), leaf("b")])
+        assert isinstance(item.inputs, tuple)
+
+    def test_is_leaf(self):
+        assert leaf("a").is_leaf
+        assert not LineageItem("t", [leaf("a")]).is_leaf
+
+
+class TestHashEquals:
+    def test_equal_structure_equal_hash(self):
+        a1 = LineageItem("mm", [leaf("x"), leaf("y")])
+        a2 = LineageItem("mm", [leaf("x"), leaf("y")])
+        assert hash(a1) == hash(a2)
+        assert a1 == a2
+
+    def test_different_opcode_not_equal(self):
+        assert LineageItem("t", [leaf("x")]) != LineageItem("rev", [leaf("x")])
+
+    def test_different_data_not_equal(self):
+        assert leaf("x") != leaf("y")
+
+    def test_different_input_order_not_equal(self):
+        x, y = leaf("x"), leaf("y")
+        assert LineageItem("mm", [x, y]) != LineageItem("mm", [y, x])
+
+    def test_deep_dag_equality(self):
+        def build():
+            x = leaf("x")
+            cur = x
+            for _ in range(50):
+                cur = LineageItem("+", [cur, x])
+            return cur
+        assert build() == build()
+
+    def test_shared_subdag_equality_is_fast(self):
+        # diamond-shaped DAG with exponential path count: memoized
+        # comparison must terminate quickly
+        def build():
+            cur = leaf("x")
+            for _ in range(60):
+                cur = LineageItem("+", [cur, cur])
+            return cur
+        assert build() == build()
+
+    def test_usable_as_dict_key(self):
+        table = {LineageItem("mm", [leaf("x"), leaf("y")]): 42}
+        probe = LineageItem("mm", [leaf("x"), leaf("y")])
+        assert table[probe] == 42
+
+    def test_not_equal_to_other_types(self):
+        assert leaf("a") != "a"
+
+
+class TestTraversal:
+    def test_iter_dag_visits_once(self):
+        x = leaf("x")
+        t = LineageItem("t", [x])
+        top = LineageItem("mm", [t, x])
+        nodes = list(top.iter_dag())
+        assert len(nodes) == 3
+
+    def test_num_nodes(self):
+        x = leaf("x")
+        assert x.num_nodes() == 1
+        assert LineageItem("mm", [x, x]).num_nodes() == 2
+
+
+class TestLiterals:
+    @pytest.mark.parametrize("value", [3, -7, 2.5, True, False, "abc"])
+    def test_roundtrip(self, value):
+        item = literal_item(value)
+        assert parse_literal(item.data) == value
+
+    def test_int_float_distinct(self):
+        assert literal_item(1) != literal_item(1.0)
+
+    def test_seed_literal_opcode(self):
+        assert literal_item(42, seed=True).opcode == "SL"
+        assert literal_item(42).opcode == "L"
+
+    def test_seed_and_plain_not_equal(self):
+        assert literal_item(42, seed=True) != literal_item(42)
+
+    def test_string_with_separator_char(self):
+        item = literal_item("a·b")
+        assert parse_literal(item.data) == "a·b"

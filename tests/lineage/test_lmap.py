@@ -1,0 +1,92 @@
+"""Unit tests for the LineageMap (live variables → lineage roots)."""
+
+import pytest
+
+from repro.errors import LineageError
+from repro.lineage.item import LineageItem
+from repro.lineage.lmap import LineageMap
+
+
+def leaf(tag="x"):
+    return LineageItem("input", (), tag)
+
+
+class TestMapOps:
+    def test_set_get(self):
+        lmap = LineageMap()
+        item = leaf()
+        lmap.set("a", item)
+        assert lmap.get("a") is item
+
+    def test_missing_raises(self):
+        with pytest.raises(LineageError):
+            LineageMap().get("nope")
+
+    def test_get_or_none(self):
+        assert LineageMap().get_or_none("nope") is None
+
+    def test_remove_is_idempotent(self):
+        lmap = LineageMap()
+        lmap.set("a", leaf())
+        lmap.remove("a")
+        lmap.remove("a")
+        assert not lmap.contains("a")
+
+    def test_move_renames(self):
+        lmap = LineageMap()
+        item = leaf()
+        lmap.set("src", item)
+        lmap.move("src", "dst")
+        assert not lmap.contains("src")
+        assert lmap.get("dst") is item
+
+    def test_move_missing_is_noop(self):
+        lmap = LineageMap()
+        lmap.move("ghost", "dst")
+        assert not lmap.contains("dst")
+
+    def test_copy_var_aliases(self):
+        lmap = LineageMap()
+        item = leaf()
+        lmap.set("a", item)
+        lmap.copy_var("a", "b")
+        assert lmap.get("b") is item
+        assert lmap.get("a") is item
+
+
+class TestLiteralCache:
+    def test_same_value_same_item(self):
+        lmap = LineageMap()
+        assert lmap.literal(5) is lmap.literal(5)
+
+    def test_type_distinguished(self):
+        lmap = LineageMap()
+        assert lmap.literal(1) is not lmap.literal(1.0)
+        assert lmap.literal(1) is not lmap.literal(True)
+
+    def test_strings_cached(self):
+        lmap = LineageMap()
+        assert lmap.literal("s") is lmap.literal("s")
+
+
+class TestAccounting:
+    def test_total_nodes_shared_subdags_once(self):
+        lmap = LineageMap()
+        x = leaf()
+        t = LineageItem("t", [x])
+        lmap.set("a", t)
+        lmap.set("b", LineageItem("mm", [t, x]))
+        assert lmap.total_nodes() == 3
+
+    def test_len_counts_variables(self):
+        lmap = LineageMap()
+        lmap.set("a", leaf("a"))
+        lmap.set("b", leaf("b"))
+        assert len(lmap) == 2
+
+    def test_snapshot_is_a_copy(self):
+        lmap = LineageMap()
+        lmap.set("a", leaf())
+        snap = lmap.snapshot()
+        lmap.remove("a")
+        assert "a" in snap

@@ -1,0 +1,87 @@
+"""Tests of scalar value-numbering in lineage (SystemDS-style).
+
+Under reuse, a computed scalar's lineage is rebound to its literal value,
+so value-equal hyper-parameters key the same cache entries regardless of
+how they were enumerated — the mechanism behind HLM's elimination of
+tol-irrelevant configurations (paper Section 2.3).
+"""
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+
+
+class TestValueNumbering:
+    def test_scalar_lineage_is_literal_under_reuse(self, small_x):
+        sess = LimaSession(LimaConfig.hybrid())
+        result = sess.run("s = sum(X);", inputs={"X": small_x})
+        item = result.lineage("s")
+        assert item.opcode == "L"
+
+    def test_scalar_lineage_full_under_lt(self, small_x):
+        """Pure tracing keeps full scalar provenance (debugging, autodiff)."""
+        sess = LimaSession(LimaConfig.lt())
+        result = sess.run("s = sum(X);", inputs={"X": small_x})
+        assert result.lineage("s").opcode == "sum"
+
+    def test_value_equal_scalars_key_same_ops(self, small_x):
+        """The same λ reached through different computations hits."""
+        script = """
+        HP = matrix(0, 2, 1);
+        HP[1, 1] = 0.5;
+        HP[2, 1] = 0.5;
+        a = X * as.scalar(HP[1, 1]);
+        b = X * as.scalar(HP[2, 1]);
+        out = sum(abs(a - b));
+        """
+        sess = LimaSession(LimaConfig.full())
+        result = sess.run(script, inputs={"X": small_x})
+        assert result.get("out") == 0.0
+        assert sess.stats.hits >= 1  # b's multiply is a full hit
+
+    def test_value_distinct_scalars_do_not_collide(self, small_x):
+        script = """
+        a = X * (1 / 4);
+        b = X * (1 / 5);
+        out = sum(abs(a - b));
+        """
+        sess = LimaSession(LimaConfig.full())
+        result = sess.run(script, inputs={"X": small_x})
+        assert result.get("out") > 0.0
+
+    def test_bool_and_float_distinct(self):
+        sess = LimaSession(LimaConfig.hybrid())
+        result = sess.run("a = 1 < 2; b = 1.0;")
+        assert result.lineage("a") != result.lineage("b")
+
+    def test_function_reuse_across_grid_positions(self, small_x, small_y):
+        """lmDS calls with equal (reg, icpt) reuse even when the values
+        come from different grid rows (the HLM/tol mechanism)."""
+        script = """
+        regs = matrix(0, 3, 1);
+        regs[1, 1] = 0.01; regs[2, 1] = 0.1; regs[3, 1] = 0.01;
+        for (j in 1:3) {
+          B = lmDS(X, y, 0, as.scalar(regs[j, 1]), FALSE);
+          s = sum(B);
+        }
+        """
+        sess = LimaSession(LimaConfig.multilevel())
+        sess.run(script, inputs={"X": small_x, "y": small_y})
+        assert sess.stats.multilevel_hits >= 1  # row 3 == row 1
+
+    def test_dedup_patches_stay_parameterized(self, small_x):
+        """Inside dedup tracing the loop scalars are NOT baked as values:
+        one patch serves all iterations."""
+        sess = LimaSession(LimaConfig.ltd())
+        result = sess.run(
+            "out = X; for (i in 1:6) { out = out * 2 + i; }",
+            inputs={"X": small_x})
+        patches = {i.data for i in result.lineage("out").iter_dag()
+                   if i.opcode == "dedup"}
+        assert len(patches) == 1
+
+    def test_string_lineage_value_numbered(self):
+        sess = LimaSession(LimaConfig.hybrid())
+        result = sess.run("s = toString(1 + 1);")
+        assert result.lineage("s").opcode == "L"

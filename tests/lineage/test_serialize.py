@@ -1,0 +1,121 @@
+"""Tests of lineage log serialization/deserialization (Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+from repro.errors import LineageError
+from repro.lineage.item import LineageItem, literal_item
+from repro.lineage.serialize import deserialize, serialize
+
+
+def roundtrip(item):
+    return deserialize(serialize(item))
+
+
+class TestBasicRoundtrip:
+    def test_leaf(self):
+        item = LineageItem("input", (), "X:abc")
+        assert roundtrip(item) == item
+
+    def test_literal(self):
+        assert roundtrip(literal_item(2.5)) == literal_item(2.5)
+
+    def test_nested_dag(self):
+        x = LineageItem("input", (), "X:1")
+        y = LineageItem("input", (), "y:1")
+        top = LineageItem("mm", [LineageItem("t", [x]), y])
+        back = roundtrip(top)
+        assert back == top
+        assert back.inputs[0].opcode == "t"
+
+    def test_shared_subdag_serialized_once(self):
+        x = LineageItem("input", (), "X:1")
+        t = LineageItem("t", [x])
+        top = LineageItem("mm", [t, t])
+        log = serialize(top)
+        assert log.count(" t ") == 1 or sum(
+            1 for line in log.splitlines() if " t " in f" {line} ") == 1
+        back = roundtrip(top)
+        assert back.inputs[0] is back.inputs[1]
+
+    def test_data_escaping(self):
+        item = LineageItem("input", (), "a b\tc\nd\\e")
+        assert roundtrip(item).data == "a b\tc\nd\\e"
+
+    def test_none_data(self):
+        item = LineageItem("mm", [literal_item(1), literal_item(2)])
+        assert roundtrip(item).data is None
+
+    def test_empty_log_raises(self):
+        with pytest.raises(LineageError):
+            deserialize("")
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(LineageError):
+            deserialize("garbage line\n")
+
+    def test_forward_reference_raises(self):
+        with pytest.raises(LineageError):
+            deserialize("I 5 =mm - 99\n")
+
+
+class TestScriptRoundtrip:
+    def make(self, script, inputs, var="out"):
+        sess = LimaSession(LimaConfig.lt())
+        return sess.run(script, inputs=inputs).lineage(var)
+
+    def test_lm_lineage_roundtrip(self, small_x, small_y):
+        item = self.make(
+            "out = lmDS(X, y, 0, 0.001, FALSE);",
+            {"X": small_x, "y": small_y})
+        assert roundtrip(item) == item
+
+    def test_loop_lineage_roundtrip(self, small_x):
+        item = self.make(
+            "out = X; for (i in 1:4) out = out + i;", {"X": small_x})
+        assert roundtrip(item) == item
+
+    def test_rand_seed_roundtrip(self):
+        item = self.make("out = rand(rows=2, cols=2);", {})
+        back = roundtrip(item)
+        assert back == item
+        assert back.inputs[-1].opcode == "SL"
+
+    def test_write_emits_lineage_file(self, tmp_path, small_x):
+        sess = LimaSession(LimaConfig.lt())
+        path = str(tmp_path / "out.csv")
+        sess.run(f"a = X + 1; write(a, '{path}');", inputs={"X": small_x})
+        log = (tmp_path / "out.csv.lineage").read_text()
+        back = deserialize(log)
+        assert back.opcode == "+"
+
+
+class TestDedupRoundtrip:
+    def make_dedup(self, small_x):
+        sess = LimaSession(LimaConfig.ltd())
+        script = "out = X; for (i in 1:5) { out = out * 2 + i; }"
+        return sess.run(script, inputs={"X": small_x}).lineage("out")
+
+    def test_dedup_log_contains_patch_section(self, small_x):
+        item = self.make_dedup(small_x)
+        log = serialize(item)
+        assert "PATCH" in log and "NODE" in log and "OUT" in log
+
+    def test_dedup_roundtrip_preserves_structure(self, small_x):
+        item = self.make_dedup(small_x)
+        back = roundtrip(item)
+        assert back.opcode == "dout"
+        assert back == item
+
+    def test_dedup_roundtrip_equals_plain(self, small_x):
+        item = self.make_dedup(small_x)
+        sess = LimaSession(LimaConfig.lt())
+        plain = sess.run("out = X; for (i in 1:5) { out = out * 2 + i; }",
+                         inputs={"X": small_x}).lineage("out")
+        assert roundtrip(item) == plain
+
+    def test_patch_serialized_once_for_many_iterations(self, small_x):
+        item = self.make_dedup(small_x)
+        log = serialize(item)
+        assert log.count("PATCH") == 1

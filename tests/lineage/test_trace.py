@@ -1,0 +1,157 @@
+"""Tests of lineage tracing through the interpreter (Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+from repro.errors import LimaRuntimeError
+
+
+def trace(script, inputs=None, var="out"):
+    sess = LimaSession(LimaConfig.lt())
+    result = sess.run(script, inputs=inputs or {})
+    return result.lineage(var)
+
+
+class TestBasicTracing:
+    def test_input_leaf(self, small_x):
+        item = trace("out = X;", {"X": small_x}, "out")
+        assert item.opcode == "input"
+        assert item.data.startswith("X:")
+
+    def test_binary_op_structure(self, small_x):
+        item = trace("out = X + X;", {"X": small_x})
+        assert item.opcode == "+"
+        assert item.inputs[0] is item.inputs[1]
+
+    def test_literal_input(self):
+        item = trace("out = 1 + 2;")
+        assert item.opcode == "+"
+        assert [i.opcode for i in item.inputs] == ["L", "L"]
+
+    def test_literal_items_cached(self, small_x):
+        item = trace("a = X * 2; out = a + 2;", {"X": small_x})
+        lit_mul = item.inputs[0].inputs[1]
+        lit_add = item.inputs[1]
+        assert lit_mul is lit_add  # the literal 2 is traced once
+
+    def test_tsmm_pattern(self, small_x):
+        item = trace("out = t(X) %*% X;", {"X": small_x})
+        assert item.opcode == "tsmm"
+
+    def test_mm_not_tsmm_for_different_vars(self, small_x, small_y):
+        item = trace("out = t(X) %*% y;", {"X": small_x, "y": small_y})
+        assert item.opcode == "mm"
+        assert item.inputs[0].opcode == "t"
+
+    def test_variable_rename_keeps_lineage(self, small_x):
+        a = trace("a = X + 1; out = a;", {"X": small_x})
+        b = trace("out = X + 1;", {"X": small_x})
+        assert a == b
+
+    def test_control_flow_not_captured(self, small_x):
+        # the lineage of the result has no trace of the branch decision
+        with_if = trace("""
+        c = 10;
+        if (c > 1) out = X + 1; else out = X - 1;
+        """, {"X": small_x})
+        direct = trace("out = X + 1;", {"X": small_x})
+        assert with_if == direct
+
+    def test_loop_lineage_unrolled(self, small_x):
+        item = trace("out = X; for (i in 1:3) out = out + 1;",
+                     {"X": small_x})
+        # three nested additions
+        assert item.opcode == "+"
+        assert item.inputs[0].opcode == "+"
+        assert item.inputs[0].inputs[0].opcode == "+"
+
+    def test_same_input_same_lineage_across_runs(self, small_x):
+        sess = LimaSession(LimaConfig.lt())
+        r1 = sess.run("out = colSums(X);", inputs={"X": small_x})
+        r2 = sess.run("out = colSums(X);", inputs={"X": small_x})
+        assert r1.lineage("out") == r2.lineage("out")
+
+    def test_different_input_different_lineage(self, small_x):
+        sess = LimaSession(LimaConfig.lt())
+        r1 = sess.run("out = colSums(X);", inputs={"X": small_x})
+        r2 = sess.run("out = colSums(X);", inputs={"X": small_x + 1.0})
+        assert r1.lineage("out") != r2.lineage("out")
+
+
+class TestNonDeterminism:
+    def test_rand_records_system_seed(self):
+        item = trace("out = rand(rows=3, cols=3);")
+        assert item.opcode == "rand"
+        assert item.inputs[-1].opcode == "SL"
+
+    def test_rand_explicit_seed_is_plain_literal(self):
+        item = trace("out = rand(rows=3, cols=3, seed=7);")
+        assert item.inputs[-1].opcode == "L"
+
+    def test_two_rands_have_distinct_lineage(self):
+        sess = LimaSession(LimaConfig.lt())
+        r = sess.run("a = rand(rows=2, cols=2); b = rand(rows=2, cols=2);")
+        assert r.lineage("a") != r.lineage("b")
+
+    def test_sample_records_seed(self):
+        item = trace("out = sample(10, 3);")
+        assert item.opcode == "sample"
+        assert item.inputs[-1].opcode == "SL"
+
+
+class TestIndexLineage:
+    def test_distinct_slices_distinct_lineage(self, small_x):
+        sess = LimaSession(LimaConfig.lt())
+        r = sess.run("a = X[1:5, ]; b = X[6:10, ];", inputs={"X": small_x})
+        assert r.lineage("a") != r.lineage("b")
+
+    def test_same_slice_same_lineage(self, small_x):
+        sess = LimaSession(LimaConfig.lt())
+        r = sess.run("a = X[1:5, ]; b = X[1:5, ];", inputs={"X": small_x})
+        assert r.lineage("a") == r.lineage("b")
+
+    def test_spec_shape_encoded(self, small_x):
+        item = trace("out = X[1:5, 2];", {"X": small_x})
+        assert item.opcode == "rightIndex"
+        assert item.data == "ri"
+
+
+class TestFunctionLineage:
+    def test_function_lineage_inlined(self, small_x):
+        via_func = trace("""
+        f = function(A) return (B) { B = A + 1; }
+        out = f(X);
+        """, {"X": small_x})
+        direct = trace("out = X + 1;", {"X": small_x})
+        assert via_func == direct
+
+    def test_multireturn_lineage(self, small_x):
+        sess = LimaSession(LimaConfig.lt())
+        r = sess.run("C = t(X) %*% X; [v, e] = eigen(C);",
+                     inputs={"X": small_x})
+        v, e = r.lineage("v"), r.lineage("e")
+        assert v.opcode == "mrout" and e.opcode == "mrout"
+        assert v.data == "0" and e.data == "1"
+        assert v.inputs[0] == e.inputs[0]
+
+
+class TestLineageBuiltin:
+    def test_lineage_builtin_returns_log(self, small_x):
+        sess = LimaSession(LimaConfig.lt())
+        r = sess.run("a = X + 1; log = lineage(a);", inputs={"X": small_x})
+        text = r.get("log")
+        assert "input" in text and "+" in text
+
+    def test_lineage_builtin_requires_tracing(self, small_x):
+        sess = LimaSession(LimaConfig.base())
+        with pytest.raises(LimaRuntimeError):
+            sess.run("a = X + 1; log = lineage(a);", inputs={"X": small_x})
+
+
+class TestSpaceAccounting:
+    def test_total_nodes_counts_reachable(self, small_x):
+        sess = LimaSession(LimaConfig.lt())
+        r = sess.run("a = X + 1; b = a * 2;", inputs={"X": small_x})
+        # input, literal 1, literal 2, +, * = 5
+        assert r._ctx.lineage.total_nodes() == 5

@@ -1,0 +1,76 @@
+"""Unit tests of the eviction scoring functions (paper Table 1)."""
+
+import pytest
+
+from repro.lineage.item import LineageItem
+from repro.reuse.cache import LineageCacheEntry
+from repro.reuse.eviction import (POLICIES, cost_size_score,
+                                  dag_height_score, get_policy, lru_score)
+
+
+def entry(height=0, last_access=0, hits=0, misses=0, compute=1.0, size=100):
+    item = LineageItem("input", (), "x")
+    e = LineageCacheEntry(item)
+    e.height = height
+    e.last_access = last_access
+    e.ref_hits = hits
+    e.ref_misses = misses  # overrides the implicit creation miss
+    e.compute_time = compute
+    e.size = size
+    return e
+
+
+class TestLRU:
+    def test_older_scores_lower(self):
+        assert lru_score(entry(last_access=1)) < lru_score(
+            entry(last_access=10))
+
+
+class TestDagHeight:
+    def test_deeper_scores_lower(self):
+        # argmin(1/h): deepest lineage is evicted first
+        assert dag_height_score(entry(height=100)) < dag_height_score(
+            entry(height=1))
+
+    def test_handles_zero_height(self):
+        assert dag_height_score(entry(height=0)) == 1.0
+
+
+class TestCostSize:
+    def test_expensive_small_scores_higher(self):
+        cheap_big = entry(hits=1, compute=0.001, size=10_000_000)
+        costly_small = entry(hits=1, compute=10.0, size=100)
+        assert cost_size_score(costly_small) > cost_size_score(cheap_big)
+
+    def test_accesses_scale_score(self):
+        # (rh + rm) * c / s — both hits and misses raise the score
+        base = entry(hits=1, compute=1.0)
+        hot = entry(hits=5, misses=5, compute=1.0)
+        assert cost_size_score(hot) == pytest.approx(10 * cost_size_score(
+            base))
+
+    def test_unaccessed_scores_zero(self):
+        assert cost_size_score(entry(misses=0)) == 0.0
+
+    def test_fresh_entry_scores_its_creation_miss(self):
+        # entries are created by a miss, so a fresh entry's score is
+        # c/s rather than zero (needed for the Fig. 8a behaviour)
+        item = LineageItem("input", (), "fresh")
+        fresh = LineageCacheEntry(item)
+        fresh.compute_time, fresh.size = 2.0, 100
+        assert cost_size_score(fresh) == pytest.approx(0.02)
+
+    def test_zero_size_guarded(self):
+        assert cost_size_score(entry(hits=1, size=0)) > 0
+
+
+class TestRegistry:
+    def test_table1_policies_present(self):
+        assert set(POLICIES) == {"lru", "dagheight", "costsize"}
+
+    def test_get_policy(self):
+        assert get_policy("lru") is lru_score
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError):
+            get_policy("arc")

@@ -1,0 +1,137 @@
+"""Tests of multi-level (function/block) reuse (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+
+
+class TestFunctionReuse:
+    SCRIPT = """
+    f = function(A) return (B) {
+      C = t(A) %*% A;
+      B = C + 1;
+    }
+    a = f(X);
+    b = f(X);
+    out = sum(a - b);
+    """
+
+    def test_repeated_call_hits(self, small_x):
+        sess = LimaSession(LimaConfig.multilevel())
+        result = sess.run(self.SCRIPT, inputs={"X": small_x})
+        assert result.get("out") == 0.0
+        assert sess.stats.multilevel_hits >= 1
+
+    def test_hit_restores_fine_grained_lineage(self, small_x):
+        sess = LimaSession(LimaConfig.multilevel())
+        result = sess.run(self.SCRIPT, inputs={"X": small_x})
+        # b's lineage must be the op-level DAG, not an opaque fcall item
+        item = result.lineage("b")
+        assert item.opcode == "+"
+        assert result.lineage("a") == result.lineage("b")
+
+    def test_different_args_miss(self, small_x):
+        script = """
+        f = function(A) return (B) { B = t(A) %*% A; }
+        a = f(X);
+        b = f(X + 1);
+        out = 0;
+        """
+        sess = LimaSession(LimaConfig.multilevel())
+        result = sess.run(script, inputs={"X": small_x})
+        assert not np.allclose(result.get("a"), result.get("b"))
+
+    def test_nondeterministic_function_not_reused(self):
+        script = """
+        f = function(n) return (B) { B = rand(rows=n, cols=n); }
+        a = f(4);
+        b = f(4);
+        out = sum(abs(a - b));
+        """
+        sess = LimaSession(LimaConfig.multilevel())
+        result = sess.run(script)
+        assert result.get("out") != 0.0  # two fresh random draws
+
+    def test_seeded_function_is_reused(self):
+        script = """
+        f = function(n) return (B) { B = rand(rows=n, cols=n, seed=3); }
+        a = f(4);
+        b = f(4);
+        out = sum(abs(a - b));
+        """
+        sess = LimaSession(LimaConfig.multilevel())
+        result = sess.run(script)
+        assert result.get("out") == 0.0
+        assert sess.stats.multilevel_hits >= 1
+
+    def test_cross_run_function_reuse(self, small_x):
+        sess = LimaSession(LimaConfig.multilevel())
+        script = """
+        f = function(A) return (B) { B = t(A) %*% A; }
+        out = f(X);
+        """
+        sess.run(script, inputs={"X": small_x})
+        before = sess.stats.multilevel_hits
+        sess.run(script, inputs={"X": small_x})
+        assert sess.stats.multilevel_hits > before
+
+    def test_multioutput_function_reuse(self, small_x):
+        script = """
+        f = function(A) return (P, Q) {
+          P = t(A) %*% A;
+          Q = colSums(A);
+        }
+        [p1, q1] = f(X);
+        [p2, q2] = f(X);
+        """
+        sess = LimaSession(LimaConfig.multilevel())
+        result = sess.run(script, inputs={"X": small_x})
+        assert sess.stats.multilevel_hits >= 1
+        np.testing.assert_array_equal(result.get("p1"), result.get("p2"))
+        np.testing.assert_array_equal(result.get("q1"), result.get("q2"))
+
+
+class TestBlockReuse:
+    def test_block_reuse_across_function_calls(self, small_x):
+        # pca's covariance/eigen block hits at block level when called
+        # with the same A but different K (the Fig. 5 scenario)
+        script = """
+        [r1, e1] = pca(A, 2);
+        [r2, e2] = pca(A, 3);
+        out = sum(e1 - e2);
+        """
+        sess = LimaSession(LimaConfig.multilevel())
+        result = sess.run(script, inputs={"A": small_x})
+        assert result.get("out") == 0.0
+        assert sess.stats.hits > 0
+
+    def test_values_identical_to_base(self, small_x, small_y):
+        script = """
+        B1 = lmDS(X, y, 0, 0.1, FALSE);
+        B2 = lmDS(X, y, 0, 0.01, FALSE);
+        out = cbind(B1, B2);
+        """
+        base = LimaSession(LimaConfig.base()).run(
+            script, inputs={"X": small_x, "y": small_y})
+        ml = LimaSession(LimaConfig.multilevel()).run(
+            script, inputs={"X": small_x, "y": small_y})
+        np.testing.assert_allclose(ml.get("out"), base.get("out"))
+
+
+class TestOperationVsMultilevel:
+    def test_multilevel_reduces_probes(self, small_x):
+        script = """
+        f = function(A) return (B) {
+          B = A;
+          for (i in 1:10) B = B * 0.9 + A * 0.1;
+        }
+        a = f(X);
+        b = f(X);
+        """
+        fr = LimaSession(LimaConfig.full())
+        fr.run(script, inputs={"X": small_x})
+        ml = LimaSession(LimaConfig.multilevel())
+        ml.run(script, inputs={"X": small_x})
+        # the second call is one fcall probe instead of per-op probes
+        assert ml.stats.probes < fr.stats.probes

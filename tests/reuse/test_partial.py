@@ -1,0 +1,177 @@
+"""Unit tests of the partial-reuse rewrites (Section 4.2).
+
+Each rewrite is exercised through the interpreter: the needed sub-result
+is planted by running its producer first, then the composed operation must
+come out of the compensation plan bit-equivalently (checked against a
+reuse-free execution) while the rewrite counter increments.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+
+
+def paired_run(script, inputs, var="out"):
+    """(base value, lima value, lima stats) for a script."""
+    base = LimaSession(LimaConfig.base()).run(script, inputs=inputs)
+    sess = LimaSession(LimaConfig.hybrid())
+    lima = sess.run(script, inputs=inputs)
+    return base.get(var), lima.get(var), sess.stats
+
+
+@pytest.fixture
+def data(rng):
+    return {
+        "X": rng.standard_normal((40, 6)),
+        "dX": rng.standard_normal((10, 6)),
+        "Y": rng.standard_normal((6, 5)),
+        "Xw": rng.standard_normal((40, 9)),   # wide partner for cbind
+        "dXw": rng.standard_normal((40, 3)),
+    }
+
+
+def assert_partial(script, inputs, var="out"):
+    base, lima, stats = paired_run(script, inputs, var)
+    np.testing.assert_allclose(lima, base, rtol=1e-12, atol=1e-12)
+    assert stats.partial_hits >= 1, f"no partial hit; stats={stats}"
+
+
+class TestMatMulRewrites:
+    def test_r1_rbind_left(self, data):
+        assert_partial(
+            "a = X %*% Y; Z = rbind(X, dX); out = Z %*% Y;", data)
+
+    def test_r2_cbind_right(self, data):
+        script = ("a = Xw %*% t(Xw); B = cbind(t(Xw), dX2);"
+                  " out = Xw %*% B;")
+        inputs = dict(data)
+        inputs["dX2"] = np.random.default_rng(5).standard_normal((9, 4))
+        assert_partial(script, inputs)
+
+    def test_r3_cbind_ones(self, data):
+        script = ("a = X %*% Y; B = cbind(Y, matrix(1, nrow(Y), 1));"
+                  " out = X %*% B;")
+        assert_partial(script, data)
+
+    def test_r4_index_right(self, data):
+        script = "a = X %*% Y; out = X %*% (Y[, 1:3]);"
+        assert_partial(script, data)
+
+    def test_r12_block_mm(self, data, rng):
+        inputs = dict(data)
+        inputs["A"] = rng.standard_normal((5, 7))
+        inputs["dA"] = rng.standard_normal((5, 2))
+        inputs["B"] = rng.standard_normal((7, 4))
+        inputs["dB"] = rng.standard_normal((2, 4))
+        # Ac flows through an op so its value is cached (the rewrite
+        # derives the split point from a cached part)
+        script = ("Ac = A * 1; p = Ac %*% B; L = cbind(Ac, dA);"
+                  " R = rbind(B, dB); out = L %*% R;")
+        assert_partial(script, inputs)
+
+
+class TestTsmmRewrites:
+    def test_r5_tsmm_rbind(self, data):
+        script = ("Xc = X * 1; a = t(Xc) %*% Xc; Z = rbind(Xc, dX);"
+                  " out = t(Z) %*% Z;")
+        assert_partial(script, data)
+
+    def test_r5_split_from_delta_part(self, data):
+        # only the delta part is cached: the split point is derived from
+        # its row count instead of X's
+        script = ("dc = dX * 1; a = t(X) %*% X; Z = rbind(X, dc);"
+                  " out = t(Z) %*% Z;")
+        base = LimaSession(LimaConfig.base()).run(script, inputs=data)
+        sess = LimaSession(LimaConfig.hybrid())
+        lima = sess.run(script, inputs=data)
+        np.testing.assert_allclose(lima.get("out"), base.get("out"))
+
+    def test_r6_tsmm_cbind(self, data):
+        script = ("a = t(Xw) %*% Xw; Z = cbind(Xw, dXw);"
+                  " out = t(Z) %*% Z;")
+        assert_partial(script, data)
+
+    def test_r15_tsmm_index(self, data):
+        script = "a = t(Xw) %*% Xw; P = Xw[, 1:4]; out = t(P) %*% P;"
+        assert_partial(script, data)
+
+
+class TestElementwiseRewrites:
+    def test_r7_ew_cbind(self, data):
+        script = ("a = Xw * Xw; L = cbind(Xw, dXw); R = cbind(Xw, dXw);"
+                  " out = L * R;")
+        assert_partial(script, data)
+
+    def test_r8_ew_rbind(self, data):
+        script = ("a = X + X; L = rbind(X, dX); R = rbind(X, dX);"
+                  " out = L + R;")
+        assert_partial(script, data)
+
+
+class TestAggregateRewrites:
+    def test_r9_colsums_cbind(self, data):
+        script = ("a = colSums(Xw); Z = cbind(Xw, dXw); out = colSums(Z);")
+        assert_partial(script, data)
+
+    def test_r9_colmeans_cbind(self, data):
+        script = ("a = colMeans(Xw); Z = cbind(Xw, dXw);"
+                  " out = colMeans(Z);")
+        assert_partial(script, data)
+
+    def test_r10_rowsums_rbind(self, data):
+        script = ("a = rowSums(X); Z = rbind(X, dX); out = rowSums(Z);")
+        assert_partial(script, data)
+
+    def test_r9b_rowsums_cbind(self, data):
+        script = ("Xc = Xw * 1; a = rowSums(Xc); Z = cbind(Xc, dXw);"
+                  " out = rowSums(Z);")
+        assert_partial(script, data)
+
+    def test_r10b_colsums_rbind(self, data):
+        script = ("Xc = X * 1; a = colSums(Xc); Z = rbind(Xc, dX);"
+                  " out = colSums(Z);")
+        assert_partial(script, data)
+
+    def test_r11_sum_rbind(self, data):
+        script = ("Xc = X * 1; a = sum(Xc); Z = rbind(Xc, dX);"
+                  " out = sum(Z);")
+        assert_partial(script, data)
+
+    def test_r11_mean_cbind(self, data):
+        script = ("Xc = Xw * 1; a = mean(Xc); Z = cbind(Xc, dXw);"
+                  " out = mean(Z);")
+        assert_partial(script, data)
+
+
+class TestTransposeRewrites:
+    def test_r13_t_cbind(self, data):
+        script = "a = t(Xw); Z = cbind(Xw, dXw); out = t(Z);"
+        assert_partial(script, data)
+
+    def test_r14_t_rbind(self, data):
+        script = "a = t(X); Z = rbind(X, dX); out = t(Z);"
+        assert_partial(script, data)
+
+
+class TestNoFalsePositives:
+    def test_no_rewrite_without_cached_part(self, data):
+        sess = LimaSession(LimaConfig.hybrid())
+        sess.run("Z = rbind(X, dX); out = t(Z) %*% Z;", inputs=data)
+        assert sess.stats.partial_hits == 0
+
+    def test_result_correct_without_any_cache(self, data):
+        base, lima, _ = paired_run(
+            "Z = cbind(X, dX2); out = t(Z) %*% Z;",
+            {**data, "dX2": np.ones((40, 2))})
+        np.testing.assert_allclose(lima, base)
+
+    def test_partial_result_is_itself_cached(self, data):
+        sess = LimaSession(LimaConfig.hybrid())
+        script = ("Xc = X * 1; a = t(Xc) %*% Xc; Z = rbind(Xc, dX);"
+                  " b = t(Z) %*% Z; out = t(Z) %*% Z;")
+        result = sess.run(script, inputs=data)
+        # second tsmm(Z) is a *full* hit on the partial result
+        assert sess.stats.partial_hits == 1
+        assert sess.stats.hits >= 1
+        np.testing.assert_array_equal(result.get("b"), result.get("out"))

@@ -1,0 +1,288 @@
+"""Integration tests of the interpreter: control flow, scoping, functions."""
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+from repro.errors import LimaCompileError, LimaRuntimeError
+
+
+def run(script, inputs=None, config=None, var="out"):
+    sess = LimaSession(config or LimaConfig.base())
+    return sess.run(script, inputs=inputs or {}).get(var)
+
+
+class TestArithmetic:
+    def test_scalar_arithmetic(self):
+        assert run("out = (1 + 2) * 3 - 4 / 2;") == 7.0
+
+    def test_operator_precedence(self):
+        assert run("out = 2 + 3 * 4 ^ 2;") == 50.0
+
+    def test_unary_minus(self):
+        assert run("x = 5; out = -x;") == -5.0
+
+    def test_matrix_expression(self):
+        out = run("A = matrix(2, 2, 2); out = A * A + 1;")
+        np.testing.assert_array_equal(out, [[5, 5], [5, 5]])
+
+    def test_matmul_and_transpose(self):
+        out = run("out = t(A) %*% A;", {"A": np.array([[1.0], [2.0]])})
+        np.testing.assert_array_equal(out, [[5.0]])
+
+    def test_range_as_value(self):
+        out = run("out = 2:5;")
+        np.testing.assert_array_equal(out.ravel(), [2, 3, 4, 5])
+
+    def test_string_building(self):
+        sess = LimaSession(LimaConfig.base())
+        r = sess.run("print('v=' + (1 + 1));")
+        assert r.stdout == ["v=2"]
+
+
+class TestControlFlow:
+    def test_if_true_branch(self):
+        assert run("x = 5; if (x > 3) out = 1; else out = 2;") == 1
+
+    def test_if_false_branch(self):
+        assert run("x = 1; if (x > 3) out = 1; else out = 2;") == 2
+
+    def test_elif_chain(self):
+        script = """
+        x = 2;
+        if (x == 1) out = 10;
+        else if (x == 2) out = 20;
+        else out = 30;
+        """
+        assert run(script) == 20
+
+    def test_for_loop_accumulates(self):
+        assert run("out = 0; for (i in 1:5) out = out + i;") == 15
+
+    def test_for_loop_descending(self):
+        assert run("out = 0; for (i in 3:1) out = out * 10 + i;") == 321
+
+    def test_for_over_vector(self):
+        script = "v = seq(2, 6, 2); out = 0; for (x in v) out = out + x;"
+        assert run(script) == 12
+
+    def test_while_loop(self):
+        assert run("i = 0; while (i < 7) i = i + 1; out = i;") == 7
+
+    def test_nested_loops(self):
+        script = """
+        out = 0;
+        for (i in 1:3)
+          for (j in 1:4)
+            out = out + 1;
+        """
+        assert run(script) == 12
+
+    def test_if_inside_loop(self):
+        script = """
+        out = 0;
+        for (i in 1:10)
+          if (i %% 2 == 0)
+            out = out + i;
+        """
+        assert run(script) == 30
+
+    def test_empty_range_loop_body_skipped(self):
+        # a 1:0 range in DML iterates downward (1, 0); our runtime follows
+        # R semantics where 1:0 = c(1, 0)
+        assert run("out = 0; for (i in 1:0) out = out + 1;") == 2
+
+
+class TestIndexing:
+    def test_right_indexing(self):
+        x = np.arange(12.0).reshape(3, 4)
+        np.testing.assert_array_equal(
+            run("out = X[2, ];", {"X": x}), x[1:2])
+        np.testing.assert_array_equal(
+            run("out = X[, 2:3];", {"X": x}), x[:, 1:3])
+
+    def test_indexed_assignment(self):
+        script = "X = matrix(0, 2, 2); X[1, 2] = 5; out = X;"
+        np.testing.assert_array_equal(run(script), [[0, 5], [0, 0]])
+
+    def test_row_vector_assignment(self):
+        script = "X = matrix(0, 3, 2); X[2, ] = matrix(7, 1, 2); out = X;"
+        out = run(script)
+        np.testing.assert_array_equal(out[1], [7, 7])
+
+    def test_index_by_computed_vector(self):
+        x = np.arange(10.0).reshape(5, 2)
+        script = "idx = rev(seq(1, 3)); out = X[idx, ];"
+        np.testing.assert_array_equal(run(script, {"X": x}), x[[2, 1, 0]])
+
+
+class TestFunctions:
+    def test_simple_function(self):
+        script = """
+        add = function(a, b) return (c) { c = a + b; }
+        out = add(2, 3);
+        """
+        assert run(script) == 5
+
+    def test_default_parameters(self):
+        script = """
+        f = function(a, b = 10) return (c) { c = a + b; }
+        out = f(1);
+        """
+        assert run(script) == 11
+
+    def test_named_arguments(self):
+        script = """
+        f = function(a, b) return (c) { c = a - b; }
+        out = f(b = 1, a = 5);
+        """
+        assert run(script) == 4
+
+    def test_multi_return(self):
+        script = """
+        f = function(a) return (x, y) { x = a + 1; y = a - 1; }
+        [p, q] = f(10);
+        out = p * q;
+        """
+        assert run(script) == 99
+
+    def test_single_bind_of_multi_return(self):
+        script = """
+        f = function(a) return (x, y) { x = a + 1; y = a - 1; }
+        out = f(10);
+        """
+        assert run(script) == 11
+
+    def test_function_scoping_isolated(self):
+        script = """
+        f = function(a) return (b) { hidden = 99; b = a; }
+        x = f(1);
+        out = 1;
+        """
+        sess = LimaSession(LimaConfig.base())
+        result = sess.run(script)
+        assert "hidden" not in result.variables()
+
+    def test_function_does_not_mutate_caller(self):
+        script = """
+        f = function(X) return (Y) { X = X + 1; Y = X; }
+        A = matrix(1, 2, 2);
+        B = f(A);
+        out = sum(A);
+        """
+        assert run(script) == 4  # A unchanged in caller
+
+    def test_recursive_function(self):
+        script = """
+        fact = function(n) return (r) {
+          if (n <= 1) r = 1;
+          else r = n * fact(n - 1);
+        }
+        out = fact(5);
+        """
+        assert run(script) == 120
+
+    def test_missing_required_arg(self):
+        with pytest.raises(LimaCompileError):
+            run("f = function(a) return (b) { b = a; } out = f();")
+
+    def test_unknown_function(self):
+        with pytest.raises(LimaCompileError):
+            run("out = definitelyNotAFunction(1);")
+
+    def test_function_calling_function(self):
+        script = """
+        g = function(a) return (b) { b = a * 2; }
+        f = function(a) return (b) { b = g(a) + 1; }
+        out = f(3);
+        """
+        assert run(script) == 7
+
+
+class TestEval:
+    def test_eval_positional(self):
+        script = """
+        f = function(a, b) return (c) { c = a * b; }
+        out = eval("f", list(3, 4));
+        """
+        assert run(script) == 12
+
+    def test_eval_named(self):
+        script = """
+        f = function(a, b) return (c) { c = a - b; }
+        out = eval("f", list(b = 2, a = 10));
+        """
+        assert run(script) == 8
+
+    def test_eval_with_defaults(self):
+        script = """
+        f = function(a, b = 5) return (c) { c = a + b; }
+        out = eval("f", list(1));
+        """
+        assert run(script) == 6
+
+    def test_eval_of_builtin_script(self, small_x, small_y):
+        script = 'out = eval("l2norm", list(X = X, y = y, B = B));'
+        beta = np.zeros((small_x.shape[1], 1))
+        got = run(script, {"X": small_x, "y": small_y, "B": beta})
+        assert np.isclose(got, float(np.sum(small_y ** 2)))
+
+    def test_eval_dynamic_name(self):
+        script = """
+        f = function(a) return (c) { c = a + 1; }
+        g = function(a) return (c) { c = a - 1; }
+        name = "g";
+        out = eval(name, list(10));
+        """
+        assert run(script) == 9
+
+
+class TestBuiltinsInScripts:
+    def test_lappend_builds_named_list(self):
+        script = """
+        f = function(a, b) return (c) { c = a * 10 + b; }
+        l = list(a = 1);
+        l = lappend(l, "b", 2);
+        out = eval("f", l);
+        """
+        assert run(script) == 12
+
+    def test_nrow_ncol(self):
+        assert run("out = nrow(X) * 100 + ncol(X);",
+                   {"X": np.zeros((3, 7))}) == 307
+
+    def test_sample_deterministic_with_seed(self):
+        a = run("out = sample(100, 10, FALSE, 42);")
+        b = run("out = sample(100, 10, FALSE, 42);")
+        np.testing.assert_array_equal(a, b)
+
+    def test_stop_raises(self):
+        with pytest.raises(LimaRuntimeError, match="boom"):
+            run("stop('boom');")
+
+    def test_print_formats_matrix(self):
+        sess = LimaSession(LimaConfig.base())
+        r = sess.run("print(toString(matrix(1, 1, 2)));")
+        assert r.stdout == ["1.000 1.000"]
+
+    def test_ifelse_expression(self):
+        assert run("x = 5; out = ifelse(x > 3, 10, 20);") == 10
+
+
+class TestVariableSemantics:
+    def test_assignment_aliases_are_safe(self):
+        # values are immutable by convention: reassigning y must not
+        # change x
+        script = "x = matrix(1, 2, 2); y = x; y = y + 1; out = sum(x);"
+        assert run(script) == 4
+
+    def test_undefined_variable(self):
+        with pytest.raises(LimaRuntimeError):
+            run("out = zzz + 1;")
+
+    def test_self_referential_update(self):
+        assert run("x = 3; x = x * x; out = x;") == 9
+
+    def test_shadowing_input(self):
+        out = run("X = X + 1; out = sum(X);", {"X": np.ones((2, 2))})
+        assert out == 8

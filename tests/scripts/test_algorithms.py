@@ -1,0 +1,288 @@
+"""Tests of the builtin script algorithms against NumPy references."""
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+from repro.scripts import builtin_function_names, lookup_builtin_function
+
+
+def run(script, inputs=None, var="out", config=None):
+    sess = LimaSession(config or LimaConfig.base())
+    return sess.run(script, inputs=inputs or {}).get(var)
+
+
+class TestRegistry:
+    def test_known_builtins_present(self):
+        names = builtin_function_names()
+        for expected in ("lm", "lmDS", "lmCG", "l2norm", "gridSearch",
+                         "l2svm", "msvm", "multiLogReg", "pca",
+                         "naiveBayes", "cvlm", "stepLm", "autoencoder",
+                         "scaleAndShift"):
+            assert expected in names
+
+    def test_lookup_unknown_returns_none(self):
+        assert lookup_builtin_function("noSuchBuiltin") is None
+
+    def test_lookup_is_cached(self):
+        a = lookup_builtin_function("lm")
+        b = lookup_builtin_function("lm")
+        assert a is b
+
+
+class TestScaleAndShift:
+    def test_zero_mean_unit_sd(self, small_x):
+        out = run("out = scaleAndShift(X);", {"X": small_x})
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(out.std(axis=0, ddof=1), 1.0, atol=1e-12)
+
+    def test_constant_column_guarded(self):
+        x = np.hstack([np.ones((10, 1)), np.arange(10.0).reshape(-1, 1)])
+        out = run("out = scaleAndShift(X);", {"X": x})
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out[:, 0], 0.0)
+
+
+class TestLinearRegression:
+    def reference(self, x, y, reg, icpt=0):
+        if icpt:
+            x = np.hstack([x, np.ones((x.shape[0], 1))])
+        return np.linalg.solve(x.T @ x + reg * np.eye(x.shape[1]), x.T @ y)
+
+    def test_lmds_matches_normal_equations(self, small_x, small_y):
+        out = run("out = lmDS(X, y, 0, 0.001, FALSE);",
+                  {"X": small_x, "y": small_y})
+        np.testing.assert_allclose(
+            out, self.reference(small_x, small_y, 0.001), rtol=1e-8)
+
+    def test_lmds_with_intercept(self, small_x, small_y):
+        out = run("out = lmDS(X, y, 1, 0.001, FALSE);",
+                  {"X": small_x, "y": small_y})
+        assert out.shape == (small_x.shape[1] + 1, 1)
+        np.testing.assert_allclose(
+            out, self.reference(small_x, small_y, 0.001, icpt=1), rtol=1e-8)
+
+    def test_lmcg_converges_to_lmds(self, small_x, small_y):
+        ds = run("out = lmDS(X, y, 0, 0.001, FALSE);",
+                 {"X": small_x, "y": small_y})
+        cg = run("out = lmCG(X, y, 0, 0.001, 0.0000000001, 100, FALSE);",
+                 {"X": small_x, "y": small_y})
+        np.testing.assert_allclose(cg, ds, rtol=1e-5, atol=1e-8)
+
+    def test_lm_dispatches_to_ds_for_narrow(self, small_x, small_y):
+        lm = run("out = lm(X, y, 0, 0.001, 0.0000001, 0, FALSE);",
+                 {"X": small_x, "y": small_y})
+        ds = run("out = lmDS(X, y, 0, 0.001, FALSE);",
+                 {"X": small_x, "y": small_y})
+        np.testing.assert_array_equal(lm, ds)
+
+    def test_l2norm(self, small_x, small_y):
+        beta = np.zeros((small_x.shape[1], 1))
+        out = run("out = l2norm(X, y, B);",
+                  {"X": small_x, "y": small_y, "B": beta})
+        assert np.isclose(out, float(np.sum(small_y ** 2)))
+
+    def test_lm_predict_appends_intercept(self, small_x, small_y):
+        script = """
+        B = lmDS(X, y, 1, 0.001, FALSE);
+        out = lmPredict(X, B);
+        """
+        out = run(script, {"X": small_x, "y": small_y})
+        assert out.shape == small_y.shape
+
+    def test_r2score_perfect_fit(self, small_y):
+        out = run("out = r2score(y, y);", {"y": small_y})
+        assert np.isclose(out, 1.0)
+
+
+class TestGridSearch:
+    def test_finds_best_configuration(self, small_x, small_y):
+        script = """
+        [B, opt] = gridSearch(X, y, "lm", "l2norm", list("reg", "icpt"),
+                              list(regs, icpts), ncol(X) + 1, FALSE);
+        out = opt;
+        """
+        inputs = {"X": small_x, "y": small_y,
+                  "regs": np.array([[1e-3], [1e-1], [10.0]]),
+                  "icpts": np.array([[0.0], [1.0]])}
+        opt = run(script, inputs)
+        # the best loss cannot exceed the loss of any single config
+        single = run(
+            "B = lm(X, y, 0, 0.001, 0.0000001, 0, FALSE);"
+            "out = l2norm(X, y, B);",
+            {"X": small_x, "y": small_y})
+        assert opt <= single + 1e-9
+
+    def test_parallel_equals_sequential(self, small_x, small_y):
+        inputs = {"X": small_x, "y": small_y,
+                  "regs": np.array([[1e-3], [1e-1]]),
+                  "icpts": np.array([[0.0], [1.0]])}
+        template = """
+        [B, opt] = gridSearch(X, y, "lm", "l2norm", list("reg", "icpt"),
+                              list(regs, icpts), ncol(X) + 1, %s);
+        out = opt;
+        """
+        seq = run(template % "FALSE", inputs)
+        par = run(template % "TRUE", inputs)
+        assert np.isclose(seq, par)
+
+
+class TestSVM:
+    def test_l2svm_separates_separable_data(self, rng):
+        x = np.vstack([rng.standard_normal((40, 3)) + 4,
+                       rng.standard_normal((40, 3)) - 4])
+        y = np.vstack([np.ones((40, 1)), -np.ones((40, 1))])
+        script = """
+        w = l2svm(X, Y, 0, 1.0, 0.001, 30);
+        pred = 2 * ((X %*% w) > 0) - 1;
+        out = mean(pred == Y);
+        """
+        assert run(script, {"X": x, "Y": y}) == 1.0
+
+    def test_msvm_multiclass_accuracy(self, rng):
+        centers = np.array([[6.0, 0], [-6.0, 0], [0, 6.0]])
+        labels = rng.integers(0, 3, 90)
+        x = centers[labels] + rng.standard_normal((90, 2))
+        y = (labels + 1.0).reshape(-1, 1)
+        script = """
+        W = msvm(X, Y, 0, 1.0, 0.001, 30);
+        pred = rowIndexMax(X %*% W);
+        out = mean(pred == Y);
+        """
+        assert run(script, {"X": x, "Y": y}) > 0.9
+
+
+class TestMultiLogReg:
+    def test_learns_separable_classes(self, rng):
+        centers = np.array([[5.0, 0], [-5.0, 0]])
+        labels = rng.integers(0, 2, 80)
+        x = centers[labels] + rng.standard_normal((80, 2))
+        y = (labels + 1.0).reshape(-1, 1)
+        script = """
+        B = multiLogReg(X, Y, 0, 0.0001, 0.000001, 50);
+        pred = rowIndexMax(X %*% B);
+        out = mean(pred == Y);
+        """
+        assert run(script, {"X": x, "Y": y}) > 0.9
+
+
+class TestPCA:
+    def test_projection_matches_eigh_reference(self, small_x):
+        out = run("[R, e] = pca(A, 3); out = R;", {"A": small_x})
+        # reference: standardized data onto top-3 eigenvectors
+        mu = small_x.mean(axis=0)
+        sd = small_x.std(axis=0, ddof=1)
+        xs = (small_x - mu) / sd
+        n = xs.shape[0]
+        mu2 = xs.sum(axis=0) / n
+        c = xs.T @ xs / (n - 1) - np.outer(mu2, mu2) * n / (n - 1)
+        vals, vecs = np.linalg.eigh(c)
+        top = vecs[:, np.argsort(-vals)[:3]]
+        ref = xs @ top
+        # sign convention may differ per component; compare magnitudes
+        np.testing.assert_allclose(np.abs(out), np.abs(ref), atol=1e-8)
+
+    def test_components_orthonormal(self, small_x):
+        e = run("[R, e] = pca(A, 2); out = e;", {"A": small_x})
+        np.testing.assert_allclose(e.T @ e, np.eye(e.shape[1]), atol=1e-10)
+
+    def test_variance_ordering(self, small_x):
+        r = run("[R, e] = pca(A, 4); out = R;", {"A": small_x})
+        variances = r.var(axis=0, ddof=1)
+        assert all(variances[i] >= variances[i + 1] - 1e-12
+                   for i in range(len(variances) - 1))
+
+
+class TestNaiveBayes:
+    def test_probabilities_normalized(self, rng):
+        x = np.abs(rng.standard_normal((50, 6)))
+        y = (rng.integers(0, 3, 50) + 1.0).reshape(-1, 1)
+        script = "[prior, cp] = naiveBayes(X, Y, 1.0); out = rowSums(cp);"
+        # multinomial conditionals sum close to 1 (laplace shifts slightly)
+        out = run(script, {"X": x, "Y": y})
+        np.testing.assert_allclose(out, 1.0, atol=0.2)
+
+    def test_prior_sums_to_one(self, rng):
+        x = np.abs(rng.standard_normal((50, 6)))
+        y = (rng.integers(0, 3, 50) + 1.0).reshape(-1, 1)
+        out = run("[prior, cp] = naiveBayes(X, Y, 1.0); out = sum(prior);",
+                  {"X": x, "Y": y})
+        assert np.isclose(out, 1.0)
+
+    def test_predict_recovers_separable_classes(self, rng):
+        x1 = np.hstack([np.abs(rng.standard_normal((40, 3))) + 5,
+                        np.abs(rng.standard_normal((40, 3)))])
+        x2 = np.hstack([np.abs(rng.standard_normal((40, 3))),
+                        np.abs(rng.standard_normal((40, 3))) + 5])
+        x = np.vstack([x1, x2])
+        y = np.vstack([np.ones((40, 1)), np.full((40, 1), 2.0)])
+        script = """
+        [prior, cp] = naiveBayes(X, Y, 1.0);
+        Yhat = naiveBayesPredict(X, prior, cp);
+        out = mean(Yhat == Y);
+        """
+        assert run(script, {"X": x, "Y": y}) > 0.9
+
+
+class TestCrossValidation:
+    def test_cvlm_matches_reference(self, small_x, small_y):
+        from repro.baselines.numpy_algos import cross_validate_linreg
+        out = run("out = cvlm(X, y, 4, 0, 0.001);",
+                  {"X": small_x, "y": small_y})
+        ref = cross_validate_linreg(small_x, small_y, 4, 0.001)
+        np.testing.assert_allclose(out, ref, rtol=1e-8)
+
+    def test_cvlm_parallel_matches_sequential(self, small_x, small_y):
+        seq = run("out = cvlm(X, y, 4, 0, 0.001);",
+                  {"X": small_x, "y": small_y})
+        par = run("out = cvlmPar(X, y, 4, 0, 0.001);",
+                  {"X": small_x, "y": small_y})
+        np.testing.assert_allclose(par, seq, rtol=1e-10)
+
+
+class TestStepLm:
+    def test_selects_informative_features(self, rng):
+        x = rng.standard_normal((100, 10))
+        y = 3 * x[:, [2]] - 2 * x[:, [7]] + 0.01 * rng.standard_normal(
+            (100, 1))
+        out = run("out = stepLm(X, y, 2, 0.0001);", {"X": x, "y": y})
+        assert set(out.ravel()) == {3.0, 8.0}  # 1-based columns 3 and 8
+
+    def test_no_duplicate_selection(self, small_x, small_y):
+        out = run("out = stepLm(X, y, 4, 0.001);",
+                  {"X": small_x, "y": small_y})
+        sel = out.ravel().tolist()
+        assert len(set(sel)) == len(sel)
+
+    def test_reuse_produces_identical_selection(self, small_x, small_y):
+        base = run("out = stepLm(X, y, 3, 0.001);",
+                   {"X": small_x, "y": small_y})
+        lima = run("out = stepLm(X, y, 3, 0.001);",
+                   {"X": small_x, "y": small_y},
+                   config=LimaConfig.hybrid())
+        np.testing.assert_array_equal(base, lima)
+
+
+class TestAutoencoder:
+    def test_shapes(self, rng):
+        x = rng.standard_normal((128, 10))
+        script = "[W1, W2, W3, W4] = autoencoder(X, 8, 2, 1, 32, 0.01, 3);"
+        sess = LimaSession(LimaConfig.base())
+        r = sess.run(script, inputs={"X": x})
+        assert r.get("W1").shape == (10, 8)
+        assert r.get("W2").shape == (8, 2)
+        assert r.get("W3").shape == (2, 8)
+        assert r.get("W4").shape == (8, 10)
+
+    def test_training_reduces_reconstruction_error(self, rng):
+        x = rng.standard_normal((256, 6))
+        script = """
+        [W1, W2, W3, W4] = autoencoder(X, 6, 3, %d, 64, 0.05, 3);
+        Xb = scaleAndShift(X[1:64, ]);
+        E = sigmoid(sigmoid(sigmoid(Xb %%*%% W1) %%*%% W2) %%*%% W3)
+            %%*%% W4 - Xb;
+        out = sum(E * E);
+        """
+        before = run(script % 1, {"X": x})
+        after = run(script % 8, {"X": x})
+        assert after < before

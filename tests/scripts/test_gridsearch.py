@@ -1,0 +1,102 @@
+"""Focused tests of the gridSearch builtin (the paper's Example 1 core)."""
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+
+
+def run(script, inputs, config=None, seed=7):
+    sess = LimaSession(config or LimaConfig.base(), seed=seed)
+    return sess.run(script, inputs=inputs, seed=seed), sess
+
+
+@pytest.fixture
+def reg_inputs(small_x, small_y):
+    return {"X": small_x, "y": small_y,
+            "regs": np.array([[1e-3], [1e-1], [10.0]]),
+            "icpts": np.array([[0.0], [1.0], [2.0]]),
+            "tols": np.array([[1e-12], [1e-10]])}
+
+
+GRID = """
+[B, opt] = gridSearch(X, y, "lm", "l2norm", list({params}),
+                      list({values}), ncol(X) + 1, FALSE);
+"""
+
+
+class TestEnumeration:
+    def test_enumerates_full_cross_product(self, reg_inputs):
+        script = """
+        [B, opt] = gridSearch(X, y, "lm", "l2norm",
+                              list("reg", "icpt", "tol"),
+                              list(regs, icpts, tols), ncol(X) + 1,
+                              FALSE);
+        """
+        result, sess = run(script, reg_inputs,
+                           config=LimaConfig.multilevel())
+        # 3 regs x 3 icpts x 2 tols = 18 configs, but tol is irrelevant
+        # on the lmDS path: 9 of the 18 lm calls are function-level hits
+        assert sess.stats.multilevel_hits >= 9
+
+    def test_opt_is_minimum_over_grid(self, reg_inputs):
+        script = GRID.format(params='"reg"', values="regs")
+        result, _ = run(script, reg_inputs)
+        opt = result.get("opt")
+        # evaluate each reg by hand
+        losses = []
+        for reg in reg_inputs["regs"].ravel():
+            single, _ = run(
+                f"B = lm(X, y, 0, {reg}, 0.0000001, 0, FALSE);"
+                "out = l2norm(X, y, B);", reg_inputs)
+            losses.append(single.get("out"))
+        assert np.isclose(opt, min(losses))
+
+    def test_beta_padding_across_icpt_sizes(self, reg_inputs):
+        """icpt=0 betas (n) and icpt>0 betas (n+1) share one result
+        matrix; the winner is returned unpadded where it matters."""
+        script = GRID.format(params='"icpt"', values="icpts")
+        result, _ = run(script, reg_inputs)
+        beta = result.get("B")
+        assert beta.shape == (reg_inputs["X"].shape[1] + 1, 1)
+
+    def test_single_parameter_grid(self, reg_inputs):
+        script = GRID.format(params='"reg"', values="regs")
+        result, _ = run(script, reg_inputs)
+        assert result.get("opt") > 0
+
+
+class TestTrainers:
+    def test_gridsearch_over_l2svm(self, rng):
+        x = np.vstack([rng.standard_normal((30, 4)) + 2,
+                       rng.standard_normal((30, 4)) - 2])
+        y = np.vstack([np.ones((30, 1)), -np.ones((30, 1))])
+        script = """
+        [B, opt] = gridSearch(X, y, "l2svm", "l2norm",
+                              list("reg", "icpt"), list(regs, icpts),
+                              ncol(X) + 1, FALSE);
+        """
+        result, _ = run(script, {
+            "X": x, "y": y,
+            "regs": np.array([[0.1], [1.0]]),
+            "icpts": np.array([[0.0], [1.0]])})
+        assert result.get("opt") >= 0
+
+    def test_reuse_does_not_change_winner(self, reg_inputs):
+        script = GRID.format(params='"reg", "icpt"', values="regs, icpts")
+        base, _ = run(script, reg_inputs)
+        lima, sess = run(script, reg_inputs, config=LimaConfig.ca())
+        assert np.isclose(base.get("opt"), lima.get("opt"))
+        np.testing.assert_allclose(lima.get("B"), base.get("B"),
+                                   rtol=1e-9)
+        assert sess.stats.hits > 0
+
+    def test_repeated_gridsearch_is_fully_reused(self, reg_inputs):
+        script = GRID.format(params='"reg"', values="regs")
+        sess = LimaSession(LimaConfig.multilevel(), seed=7)
+        first = sess.run(script, inputs=reg_inputs, seed=7)
+        probes_before = sess.stats.probes
+        second = sess.run(script, inputs=reg_inputs, seed=7)
+        np.testing.assert_array_equal(first.get("B"), second.get("B"))
+        # the second sweep reuses at least the lm calls
+        assert sess.stats.multilevel_hits >= 3

@@ -1,0 +1,143 @@
+"""Tests of the kmeans and predictor builtin scripts."""
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+
+
+def run(script, inputs=None, var="out", config=None):
+    sess = LimaSession(config or LimaConfig.base())
+    return sess.run(script, inputs=inputs or {}, seed=5).get(var)
+
+
+@pytest.fixture
+def blobs(rng):
+    centers = np.array([[8.0, 8.0], [-8.0, 8.0], [0.0, -8.0]])
+    labels = rng.integers(0, 3, 120)
+    x = centers[labels] + 0.5 * rng.standard_normal((120, 2))
+    return x, (labels + 1.0).reshape(-1, 1)
+
+
+class TestKmeans:
+    def test_recovers_separated_blobs(self, blobs):
+        x, true = blobs
+        script = "[C, labels] = kmeans(X, 3, 30, 7); out = labels;"
+        labels = run(script, {"X": x})
+        # cluster ids are arbitrary: check purity via contingency table
+        table = np.zeros((3, 3))
+        for pred, actual in zip(labels.ravel(), true.ravel()):
+            table[int(pred) - 1, int(actual) - 1] += 1
+        purity = table.max(axis=1).sum() / len(labels)
+        assert purity == 1.0
+
+    def test_centroid_shape(self, blobs):
+        x, _ = blobs
+        c = run("[C, labels] = kmeans(X, 3, 30, 7); out = C;", {"X": x})
+        assert c.shape == (3, 2)
+
+    def test_deterministic_by_seed(self, blobs):
+        x, _ = blobs
+        script = "[C, labels] = kmeans(X, 3, 30, 11); out = C;"
+        np.testing.assert_array_equal(run(script, {"X": x}),
+                                      run(script, {"X": x}))
+
+    def test_predict_matches_training_assignment(self, blobs):
+        x, _ = blobs
+        script = """
+        [C, labels] = kmeans(X, 3, 30, 7);
+        pred = kmeansPredict(X, C);
+        out = mean(pred == labels);
+        """
+        assert run(script, {"X": x}) == 1.0
+
+    def test_reuse_configs_agree(self, blobs):
+        x, _ = blobs
+        script = "[C, labels] = kmeans(X, 3, 30, 7); out = C;"
+        base = run(script, {"X": x})
+        lima = run(script, {"X": x}, config=LimaConfig.hybrid())
+        np.testing.assert_allclose(lima, base)
+
+    def test_lineage_recompute(self, blobs):
+        x, _ = blobs
+        sess = LimaSession(LimaConfig.lt())
+        result = sess.run("[C, labels] = kmeans(X, 3, 10, 7);",
+                          inputs={"X": x}, seed=5)
+        again = sess.recompute(result.lineage("C"), inputs={"X": x})
+        np.testing.assert_array_equal(again, result.get("C"))
+
+
+class TestPnmf:
+    @pytest.fixture
+    def nonneg(self, rng):
+        w = np.abs(rng.standard_normal((40, 3)))
+        h = np.abs(rng.standard_normal((3, 20)))
+        return w @ h + 0.01 * np.abs(rng.standard_normal((40, 20)))
+
+    def test_factor_shapes(self, nonneg):
+        sess = LimaSession(LimaConfig.base())
+        r = sess.run("[W, H] = pnmf(X, 3, 10, 5);", inputs={"X": nonneg},
+                     seed=5)
+        assert r.get("W").shape == (40, 3)
+        assert r.get("H").shape == (3, 20)
+
+    def test_factors_nonnegative(self, nonneg):
+        sess = LimaSession(LimaConfig.base())
+        r = sess.run("[W, H] = pnmf(X, 3, 10, 5);", inputs={"X": nonneg},
+                     seed=5)
+        assert (r.get("W") >= 0).all() and (r.get("H") >= 0).all()
+
+    def test_iterations_reduce_loss(self, nonneg):
+        script = "[W, H] = pnmf(X, 3, %d, 5); loss = pnmfLoss(X, W, H);"
+        few = run(script % 2, {"X": nonneg}, var="loss")
+        many = run(script % 25, {"X": nonneg}, var="loss")
+        assert many < few
+
+    def test_rank_sweep_reuses_tsmm(self, nonneg):
+        # the t(W)W etc. inside iterations are rank-specific, but the
+        # rank sweep re-reads X; base-vs-lima equivalence is the check
+        script = """
+        best = 999999999;
+        for (r in 2:4) {
+          [W, H] = pnmf(X, r, 8, 5);
+          best = min(best, pnmfLoss(X, W, H));
+        }
+        out = best;
+        """
+        base = run(script, {"X": nonneg})
+        lima = run(script, {"X": nonneg}, config=LimaConfig.hybrid())
+        assert np.isclose(base, lima)
+
+
+class TestPredictors:
+    def test_msvm_predict_end_to_end(self, blobs):
+        x, y = blobs
+        script = """
+        W = msvm(X, y, 1, 1.0, 0.001, 20);
+        Yhat = msvmPredict(X, W);
+        out = accuracy(y, Yhat);
+        """
+        assert run(script, {"X": x, "y": y}) > 0.95
+
+    def test_multilogreg_predict_end_to_end(self, blobs):
+        x, y = blobs
+        script = """
+        B = multiLogReg(X, y, 0, 0.0001, 0.000001, 40);
+        Yhat = multiLogRegPredict(X, B);
+        out = accuracy(y, Yhat);
+        """
+        assert run(script, {"X": x, "y": y}) > 0.9
+
+    def test_confusion_matrix_diagonal(self, blobs):
+        _, y = blobs
+        out = run("out = confusionMatrix(y, y);", {"y": y})
+        assert out.shape == (3, 3)
+        assert np.trace(out) == len(y)
+        assert out.sum() == len(y)
+
+    def test_accuracy_range(self, blobs):
+        _, y = blobs
+        flipped = y.copy()
+        flipped[0] = (flipped[0] % 3) + 1
+        acc = run("out = accuracy(y, z);", {"y": y, "z": flipped})
+        assert acc == pytest.approx(1 - 1 / len(y))

@@ -1,0 +1,139 @@
+"""Tests of the command-line interface and lineage visualization."""
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+from repro.cli import main
+from repro.lineage.visualize import diff, summarize, to_dot
+
+
+@pytest.fixture
+def workdir(tmp_path):
+    x = np.arange(20.0).reshape(5, 4)
+    np.savetxt(tmp_path / "X.csv", x, delimiter=",")
+    np.save(tmp_path / "X.npy", x)
+    script = tmp_path / "job.dml"
+    script.write_text(
+        "B = colSums(X) * n;\n"
+        "print('total ' + sum(B));\n"
+        f"write(B, '{tmp_path / 'B.csv'}');\n")
+    return tmp_path, x
+
+
+class TestRunCommand:
+    def test_run_with_csv_input(self, workdir, capsys):
+        tmp, x = workdir
+        code = main(["run", str(tmp / "job.dml"),
+                     "-i", f"X={tmp / 'X.csv'}", "-i", "n=2",
+                     "--config", "lt"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total 380" in out
+
+    def test_run_with_npy_and_print_var(self, workdir, capsys):
+        tmp, x = workdir
+        main(["run", str(tmp / "job.dml"),
+              "-i", f"X={tmp / 'X.npy'}", "-i", "n=1",
+              "--config", "base", "--print-var", "B"])
+        out = capsys.readouterr().out
+        assert "B =" in out
+
+    def test_save_var(self, workdir):
+        tmp, x = workdir
+        main(["run", str(tmp / "job.dml"),
+              "-i", f"X={tmp / 'X.csv'}", "-i", "n=1",
+              "--config", "base", "--save-var", f"B={tmp / 'out.npy'}"])
+        saved = np.load(tmp / "out.npy")
+        np.testing.assert_array_equal(saved.ravel(), x.sum(axis=0))
+
+    def test_lineage_of_flag(self, workdir, capsys):
+        tmp, _ = workdir
+        main(["run", str(tmp / "job.dml"),
+              "-i", f"X={tmp / 'X.csv'}", "-i", "n=2",
+              "--config", "lt", "--lineage-of", "B"])
+        out = capsys.readouterr().out
+        assert "colSums" in out
+
+    def test_bad_input_value(self, workdir):
+        tmp, _ = workdir
+        with pytest.raises(SystemExit):
+            main(["run", str(tmp / "job.dml"), "-i", "X=not-a-file"])
+
+
+class TestRecomputeInspect:
+    def make_log(self, tmp_path, x):
+        sess = LimaSession(LimaConfig.lt())
+        result = sess.run("out = t(X) %*% X + 1;", inputs={"X": x})
+        log_path = tmp_path / "out.lineage"
+        log_path.write_text(result.lineage_log("out"))
+        return log_path, result.get("out")
+
+    def test_recompute_roundtrip(self, tmp_path, capsys):
+        x = np.arange(12.0).reshape(4, 3)
+        np.save(tmp_path / "X.npy", x)
+        log_path, expected = self.make_log(tmp_path, x)
+        out_path = tmp_path / "re.npy"
+        main(["recompute", str(log_path),
+              "-i", f"X={tmp_path / 'X.npy'}", "--out", str(out_path)])
+        np.testing.assert_array_equal(np.load(out_path), expected)
+
+    def test_inspect_summary(self, tmp_path, capsys):
+        x = np.arange(12.0).reshape(4, 3)
+        log_path, _ = self.make_log(tmp_path, x)
+        main(["inspect", str(log_path)])
+        out = capsys.readouterr().out
+        assert "LineageSummary" in out
+
+    def test_inspect_dot_output(self, tmp_path, capsys):
+        x = np.arange(12.0).reshape(4, 3)
+        log_path, _ = self.make_log(tmp_path, x)
+        dot_path = tmp_path / "g.dot"
+        main(["inspect", str(log_path), "--dot", str(dot_path)])
+        text = dot_path.read_text()
+        assert text.startswith("digraph")
+        assert "tsmm" in text
+
+
+class TestVisualize:
+    def make_lineage(self, script, x):
+        sess = LimaSession(LimaConfig.lt())
+        return sess.run(script, inputs={"X": x}).lineage("out")
+
+    def test_summarize_counts(self, small_x):
+        root = self.make_lineage("out = t(X) %*% X + 1;", small_x)
+        summary = summarize(root)
+        assert summary.opcounts["tsmm"] == 1
+        assert summary.num_leaves == 2  # input + literal
+        assert summary.depth == 2
+
+    def test_summary_counts_seeds(self):
+        sess = LimaSession(LimaConfig.lt())
+        root = sess.run("out = rand(rows=2, cols=2) + 1;").lineage("out")
+        assert summarize(root).num_seeds == 1
+
+    def test_to_dot_shapes(self, small_x):
+        root = self.make_lineage("out = exp(X[1:3, ]);", small_x)
+        dot = to_dot(root)
+        assert "shape=box" in dot       # the input leaf
+        assert "shape=ellipse" in dot   # operations
+        assert dot.count("->") >= 3
+
+    def test_to_dot_truncation(self, small_x):
+        root = self.make_lineage(
+            "out = X; for (i in 1:50) out = out + i;", small_x)
+        dot = to_dot(root, max_nodes=10)
+        assert '"..."' in dot
+
+    def test_diff_finds_divergence(self, small_x):
+        a = self.make_lineage("out = X * 2 + 1;", small_x)
+        b = self.make_lineage("out = X * 3 + 1;", small_x)
+        only_a, only_b = diff(a, b)
+        assert only_a and only_b
+        # shared input leaf is in neither side
+        assert all(item.opcode != "input" for item in only_a)
+
+    def test_diff_identical_is_empty(self, small_x):
+        a = self.make_lineage("out = X * 2;", small_x)
+        b = self.make_lineage("out = X * 2;", small_x)
+        assert diff(a, b) == ([], [])

@@ -1,0 +1,78 @@
+"""Unit tests for LimaConfig presets and validation."""
+
+import pytest
+
+from repro.config import DEFAULT_REUSABLE_OPCODES, LimaConfig
+
+
+class TestPresets:
+    def test_base_has_nothing_enabled(self):
+        cfg = LimaConfig.base()
+        assert not cfg.lineage and not cfg.reuse_enabled and not cfg.dedup
+
+    def test_lt_traces_only(self):
+        cfg = LimaConfig.lt()
+        assert cfg.lineage and not cfg.reuse_enabled
+
+    def test_ltp_probes_with_zero_budget(self):
+        cfg = LimaConfig.ltp()
+        assert cfg.reuse_full and cfg.cache_budget == 0
+
+    def test_ltd_dedups(self):
+        assert LimaConfig.ltd().dedup
+
+    def test_full_vs_multilevel_vs_hybrid(self):
+        assert not LimaConfig.full().reuse_multilevel
+        assert LimaConfig.multilevel().reuse_multilevel
+        hybrid = LimaConfig.hybrid()
+        assert hybrid.reuse_full and hybrid.reuse_partial \
+            and hybrid.reuse_multilevel
+
+    def test_ca_adds_compiler_assist(self):
+        assert LimaConfig.ca().compiler_assist
+        assert not LimaConfig.hybrid().compiler_assist
+
+    def test_default_eviction_is_cost_size(self):
+        assert LimaConfig.hybrid().eviction_policy == "costsize"
+
+
+class TestValidation:
+    def test_reuse_without_lineage_rejected(self):
+        with pytest.raises(ValueError):
+            LimaConfig(reuse_full=True).validate()
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            LimaConfig(eviction_policy="fifo").validate()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            LimaConfig(cache_budget=-1).validate()
+
+    def test_presets_validate(self):
+        for preset in (LimaConfig.base, LimaConfig.lt, LimaConfig.ltp,
+                       LimaConfig.ltd, LimaConfig.full,
+                       LimaConfig.multilevel, LimaConfig.hybrid,
+                       LimaConfig.ca):
+            preset().validate()
+
+
+class TestWith:
+    def test_with_returns_modified_copy(self):
+        cfg = LimaConfig.hybrid()
+        other = cfg.with_(cache_budget=1)
+        assert other.cache_budget == 1
+        assert cfg.cache_budget != 1
+        assert other.reuse_partial
+
+
+class TestReusableOpcodes:
+    def test_heavy_ops_included(self):
+        for opcode in ("mm", "tsmm", "solve", "eigen", "cbind",
+                       "rightIndex"):
+            assert opcode in DEFAULT_REUSABLE_OPCODES
+
+    def test_cheap_metadata_ops_excluded(self):
+        for opcode in ("nrow", "ncol", "length", "as.scalar", "rand",
+                       "leftIndex", "list"):
+            assert opcode not in DEFAULT_REUSABLE_OPCODES

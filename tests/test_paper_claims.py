@@ -1,0 +1,179 @@
+"""Fast, assertion-based checks of the paper's qualitative claims.
+
+The benchmarks measure magnitudes; these tests pin the *direction* of
+every headline claim at small sizes, so a plain ``pytest tests/`` run
+already validates the reproduction's behaviour (Sections 2.3, 3.2, 4, 5).
+"""
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+from repro.baselines.coarse import CoarseGrainedCache
+from repro.baselines.lazy_graph import LazyGraph
+from repro.data.generators import regression
+
+
+@pytest.fixture(scope="module")
+def data():
+    ds = regression(800, 30, seed=3)
+    return {"X": ds.X, "y": ds.y}
+
+
+class TestSection2Redundancy:
+    """Section 2.3: the three kinds of fine-grained redundancy exist and
+    are eliminated."""
+
+    def test_full_operation_redundancy(self, data):
+        script = """
+        a = t(X) %*% X;
+        b = t(X) %*% X;
+        out = sum(a - b);
+        """
+        sess = LimaSession(LimaConfig.full())
+        result = sess.run(script, inputs=data)
+        assert result.get("out") == 0.0
+        assert sess.stats.hits >= 1
+        assert sess.stats.saved_compute_time > 0
+
+    def test_full_function_redundancy(self, data):
+        script = """
+        B1 = lmDS(X, y, 0, 0.01, FALSE);
+        B2 = lmDS(X, y, 0, 0.01, FALSE);
+        out = sum(B1 - B2);
+        """
+        sess = LimaSession(LimaConfig.multilevel())
+        result = sess.run(script, inputs=data)
+        assert result.get("out") == 0.0
+        assert sess.stats.multilevel_hits >= 1
+
+    def test_partial_operation_redundancy(self, data):
+        script = """
+        g = t(X) %*% X;
+        Z = cbind(X, y);
+        out = t(Z) %*% Z;
+        """
+        sess = LimaSession(LimaConfig.hybrid())
+        sess.run(script, inputs=data)
+        assert sess.stats.partial_hits >= 1
+
+    def test_lambda_invariant_core_ops(self, data):
+        """X'X and X'y are independent of reg: computed once (Example 2)."""
+        script = """
+        for (j in 1:4) {
+          B = lmDS(X, y, 0, 10 ^ (-1 * j), FALSE);
+          s = sum(B);
+        }
+        """
+        sess = LimaSession(LimaConfig.full())
+        sess.run(script, inputs=data)
+        tsmm_entries = [e for e in sess.cache.entries()
+                        if e.key.opcode == "tsmm"]
+        assert len(tsmm_entries) == 1
+        assert tsmm_entries[0].ref_hits >= 3
+
+    def test_tol_irrelevant_models_eliminated(self, data):
+        """On the lmDS path tol is irrelevant: equal (reg, icpt) configs
+        train once (Example 2 / HLM)."""
+        script = """
+        for (j in 1:3) {
+          tol = 10 ^ (-10 - j);
+          B = lm(X, y, 0, 0.01, tol, 0, FALSE);
+          s = sum(B);
+        }
+        """
+        sess = LimaSession(LimaConfig.multilevel())
+        sess.run(script, inputs=data)
+        assert sess.stats.multilevel_hits >= 2  # lmDS reused for 2 of 3
+
+
+class TestSection3Lineage:
+    def test_non_determinism_captured(self):
+        """Unseeded rand is reproducible from lineage but never reused."""
+        sess = LimaSession(LimaConfig.hybrid())
+        result = sess.run("a = rand(rows=5, cols=5); out = sum(a);")
+        replay = sess.recompute(result.lineage_log("out"))
+        assert replay == result.get("out")
+
+    def test_dedup_bounds_trace_size(self, data):
+        script = ("acc = X; for (i in 1:50) { "
+                  "acc = ((acc + 1) * 0.5 - acc / 3) * 0.8"
+                  " + acc * 0.2 - i * 0.01; }")
+        lt = LimaSession(LimaConfig.lt()).run(script, inputs=data)
+        ltd = LimaSession(LimaConfig.ltd()).run(script, inputs=data)
+        assert (ltd.lineage("acc").num_nodes() * 2
+                < lt.lineage("acc").num_nodes())
+        assert ltd.lineage("acc") == lt.lineage("acc")
+
+
+class TestSection5Baselines:
+    def test_coarse_grained_misses_internal_redundancy(self, data):
+        """A black-box step cache cannot reuse across different
+        hyper-parameters; fine-grained reuse can."""
+        coarse = CoarseGrainedCache()
+
+        def train(x, y, reg):
+            return np.linalg.solve(x.T @ x + reg * np.eye(x.shape[1]),
+                                   x.T @ y)
+
+        coarse.step("train", train, data["X"], data["y"], 0.1)
+        coarse.step("train", train, data["X"], data["y"], 0.01)
+        assert coarse.hits == 0  # different reg: full recompute
+
+        sess = LimaSession(LimaConfig.full())
+        sess.run("""
+        B1 = lmDS(X, y, 0, 0.1, FALSE);
+        B2 = lmDS(X, y, 0, 0.01, FALSE);
+        """, inputs=data)
+        assert sess.stats.hits >= 2  # X'X and X'y shared
+
+    def test_coarse_grained_reuses_identical_steps(self, data):
+        coarse = CoarseGrainedCache()
+        calls = []
+
+        def pca_step(x):
+            calls.append(1)
+            return x - x.mean(axis=0)
+
+        coarse.step("pca", pca_step, data["X"])
+        coarse.step("pca", pca_step, data["X"])
+        assert len(calls) == 1 and coarse.hits == 1
+
+    def test_global_cse_cannot_partial_reuse(self, data):
+        """TF-G-style CSE shares identical subgraphs but cannot compose
+        tsmm(rbind(X, dX)) from tsmm(X) — LIMA's partial reuse can."""
+        g = LazyGraph()
+        x = g.constant(data["X"][:400])
+        dx = g.constant(data["X"][400:])
+        g.run(g.matmul(g.t(x), x))
+        ops_before = g.ops_executed
+        z = g.rbind(x, dx)
+        g.run(g.matmul(g.t(z), z))
+        assert g.ops_executed - ops_before >= 2  # full recompute
+
+        sess = LimaSession(LimaConfig.hybrid())
+        sess.run("""
+        Xt = X[1:400, ];
+        dX = X[401:800, ];
+        a = t(Xt) %*% Xt;
+        Z = rbind(Xt, dX);
+        b = t(Z) %*% Z;
+        """, inputs=data)
+        assert sess.stats.partial_hits >= 1
+
+    def test_reuse_invariant_to_skew(self):
+        """Section 5.4: the same pipeline hits equally on skewed data."""
+        from repro.data.generators import kdd98_like
+        ds = kdd98_like(n_rows=300, n_raw=8, seed=1)
+        script = """
+        for (j in 1:3) {
+          B = lmDS(X, y, 0, 10 ^ (-1 * j), FALSE);
+          s = sum(B);
+        }
+        """
+        skewed = LimaSession(LimaConfig.full())
+        skewed.run(script, inputs={"X": ds.X, "y": ds.y})
+        dense = LimaSession(LimaConfig.full())
+        d2 = regression(300, ds.X.shape[1], seed=1)
+        dense.run(script, inputs={"X": d2.X, "y": d2.y})
+        assert skewed.stats.hits == dense.stats.hits
