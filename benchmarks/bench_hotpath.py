@@ -1,0 +1,151 @@
+"""Hot-path benchmark: lineage-tracing overhead before/after the overhaul.
+
+Standalone script (not pytest): runs the Fig. 6(a) elementwise mini-batch
+workload under the Base and LT presets twice —
+
+* **pre**: lineage-item interning and precompiled instruction dispatch
+  switched off (``set_interning(False)`` / ``set_precompiled_dispatch(False)``),
+  i.e. the pre-overhaul hot path, measured in the same process, and
+* **post**: both enabled (the defaults),
+
+and reports ops/sec per configuration plus the headline figure: the
+reduction of lineage-tracing overhead (the LT-vs-Base time delta) from
+pre to post.  Output is a JSON document on stdout::
+
+    {
+      "workload": {...},
+      "series": [{"variant": "pre", "config": "Base", "ops_per_sec": ...,
+                  "seconds": [...]}, ...],
+      "overhead": {"pre": ..., "post": ..., "reduction": 0.31}
+    }
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py           # full size
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke   # CI smoke
+"""
+
+import argparse
+import gc
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro import LimaConfig, LimaSession
+from repro.lineage.item import set_eager_hashing, set_interning
+from repro.runtime.interpreter import set_precompiled_dispatch
+
+COLS = 784
+_STEP = "  Xb = ((Xb + Xb) * k - Xb) / (k + 1);\n"
+SCRIPT = ("""
+iters = as.integer(floor(nrow(X) / b));
+s = 0;
+for (k in 1:iters) {
+  beg = (k - 1) * b + 1;
+  fin = k * b;
+  Xb = X[beg:fin, ];
+""" + _STEP * 10 + """
+  s = s + as.scalar(Xb[1, 1]);
+}
+""")
+
+#: instructions per batch iteration that the workload is dominated by
+#: (40 binary ops from the unrolled step, plus slice/sum bookkeeping)
+OPS_PER_ITER = 40
+
+_CONFIGS = {"Base": LimaConfig.base, "LT": LimaConfig.lt}
+
+
+def _run_once(config_name: str, x, batch: int) -> float:
+    session = LimaSession(_CONFIGS[config_name]())
+    # cyclic GC rescans the linearly growing live lineage DAG at a cadence
+    # that depends on unrelated allocation history; collect up front and
+    # pause it during the timed region so runs are comparable
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        session.run(SCRIPT, inputs={"X": x, "b": batch}, seed=7)
+        return time.perf_counter() - start
+    finally:
+        gc.enable()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for CI (no perf claims)")
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--batch", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    rows = args.rows or (400 if args.smoke else 20_000)
+    batch = args.batch or (8 if args.smoke else 8)
+    repeats = args.repeats or (1 if args.smoke else 5)
+    x = np.random.default_rng(0).standard_normal((rows, COLS))
+
+    # "pre" reproduces the pre-overhaul hot path in-process: no interning,
+    # eager hash materialization, isinstance-ladder dispatch.  Rounds are
+    # interleaved across variants so machine-load drift during the run
+    # hits every cell equally instead of biasing one variant.
+    variants = (("pre", False), ("post", True))
+    seconds: dict[tuple[str, str], list[float]] = {
+        (variant, config): [] for variant, _ in variants
+        for config in _CONFIGS}
+    try:
+        for _ in range(repeats):
+            for variant, enabled in variants:
+                set_interning(enabled)
+                set_eager_hashing(not enabled)
+                set_precompiled_dispatch(enabled)
+                for config_name in _CONFIGS:
+                    seconds[(variant, config_name)].append(
+                        _run_once(config_name, x, batch))
+    finally:
+        set_interning(True)
+        set_eager_hashing(False)
+        set_precompiled_dispatch(True)
+
+    iters = rows // batch
+    series = []
+    overhead = {}
+    for variant, _ in variants:
+        times = {}
+        for config_name in _CONFIGS:
+            cell = seconds[(variant, config_name)]
+            best = min(cell)
+            times[config_name] = best
+            series.append({
+                "variant": variant,
+                "config": config_name,
+                "seconds": [round(s, 6) for s in cell],
+                "best_seconds": round(best, 6),
+                "ops_per_sec": round(iters * OPS_PER_ITER / best, 1),
+            })
+        # lineage-tracing overhead: extra time LT spends over Base
+        overhead[variant] = round(max(times["LT"] - times["Base"], 0.0), 6)
+
+    reduction = (1.0 - overhead["post"] / overhead["pre"]
+                 if overhead["pre"] > 0 else 0.0)
+    report = {
+        "workload": {"rows": rows, "cols": COLS, "batch": batch,
+                     "repeats": repeats, "smoke": args.smoke,
+                     "ops_per_iter": OPS_PER_ITER},
+        "series": series,
+        "overhead": {"pre": overhead["pre"], "post": overhead["post"],
+                     "reduction": round(reduction, 4)},
+    }
+    json.dump(report, sys.stdout, indent=2)
+    print()
+    if not args.smoke and reduction < 0.25:
+        print(f"WARNING: overhead reduction {reduction:.1%} below the 25% "
+              "target", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

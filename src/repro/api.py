@@ -93,6 +93,18 @@ class LimaSession:
         self._programs: dict[str, Program] = {}
         self._run_counter = 0
         self._input_items: dict[int, tuple[tuple, LineageItem]] = {}
+        self._profiler = None
+
+    def attach_profiler(self, profiler) -> None:
+        """Profile opcode timings and cache hit rates for later runs.
+
+        Pass an :class:`~repro.runtime.profiler.OpProfiler`; counters from
+        every subsequent :meth:`run` accumulate into it (``None``
+        detaches).
+        """
+        self._profiler = profiler
+        if self.cache is not None:
+            self.cache.stats.attach_profiler(profiler)
 
     # ------------------------------------------------------------------
 
@@ -118,6 +130,8 @@ class LimaSession:
                      else self.seed * 1_000_003 + self._run_counter)
         interpreter = Interpreter(program, self.config, cache=self.cache,
                                   output=self.output, base_seed=base_seed)
+        if self._profiler is not None:
+            interpreter.attach_profiler(self._profiler)
         bindings = {}
         for name, obj in (inputs or {}).items():
             value = wrap(obj)

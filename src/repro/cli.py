@@ -84,6 +84,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="save a variable to .npy/.csv after the run")
     run.add_argument("--stats", action="store_true",
                      help="print lineage cache statistics")
+    run.add_argument("--profile", action="store_true",
+                     help="print a per-opcode time/count/cache-hit profile")
 
     recompute = sub.add_parser(
         "recompute", help="recompute a value from a lineage log")
@@ -114,6 +116,11 @@ def cmd_run(args) -> int:
         script = fh.read()
     config = _PRESETS[args.config]()
     session = LimaSession(config, seed=args.seed)
+    profiler = None
+    if args.profile:
+        from repro.runtime.profiler import OpProfiler
+        profiler = OpProfiler()
+        session.attach_profiler(profiler)
     inputs = _inputs_dict(args.input)
     start = time.perf_counter()
     result = session.run(script, inputs=inputs, seed=args.seed)
@@ -130,6 +137,8 @@ def cmd_run(args) -> int:
     print(f"[{args.config}] elapsed: {elapsed:.3f}s", file=sys.stderr)
     if args.stats:
         print(session.stats, file=sys.stderr)
+    if profiler is not None:
+        print(profiler.report(), file=sys.stderr)
     return 0
 
 

@@ -21,7 +21,8 @@ from __future__ import annotations
 
 from repro.compiler import fusion as fusion_pass
 from repro.compiler import rewrites as assist_pass
-from repro.compiler.liveness import annotate, insert_rmvar
+from repro.compiler.liveness import (annotate, insert_rmvar,
+                                     mark_inplace_all)
 from repro.compiler.program import (BasicBlock, ForBlock, FunctionProgram,
                                     IfBlock, Program, ProgramBlock,
                                     WhileBlock)
@@ -147,6 +148,7 @@ class _Compiler:
                 fusion_pass.fuse_program_blocks(
                     blocks, reuse_aware=self.config.reuse_enabled)
         for blocks in all_block_lists:
+            mark_inplace_all(blocks)
             _insert_rmvar_all(blocks)
             annotate(blocks)
         _tag_determinism(self.program)
@@ -663,6 +665,7 @@ def compile_function_into(program: Program, name: str,
             fusion_pass.fuse_program_blocks(
                 blocks, reuse_aware=config.reuse_enabled)
     for blocks in new_lists:
+        mark_inplace_all(blocks)
         _insert_rmvar_all(blocks)
         annotate(blocks)
     _tag_determinism(program)

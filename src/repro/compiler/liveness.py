@@ -5,8 +5,12 @@ The compiler uses use/def information to
 * compute block and loop-body ``inputs``/``outputs`` (needed for lineage
   deduplication placeholders and block-level reuse, Sections 3.2, 4.1),
 * insert ``rmvar`` instructions after the last use of temporaries
-  (paper Fig. 2), and
-* detect loop-carried variables for the unmarking rewrite (Section 4.4).
+  (paper Fig. 2),
+* detect loop-carried variables for the unmarking rewrite (Section 4.4),
+  and
+* mark single-use temporary operands of elementwise compute instructions
+  for in-place execution (:func:`mark_inplace`), eliding one matrix
+  allocation per op in elementwise chains.
 
 The analysis is intentionally conservative: ``inputs`` of a region are all
 variables read before being (re)defined inside it; ``outputs`` are all
@@ -97,6 +101,103 @@ def loop_carried_vars(body: list[ProgramBlock]) -> set[str]:
     """
     uses, defs = region_uses_defs(body)
     return uses & defs
+
+
+#: elementwise compute opcodes with an in-place kernel variant
+#: (:func:`repro.runtime.kernels.binary_into` / ``unary_into``)
+_INPLACE_CONSUMERS = frozenset({
+    "+", "-", "*", "/", "^", "%%", "min2", "max2",
+    "exp", "log", "sqrt", "abs", "round", "floor", "ceil", "sign",
+})
+
+#: opcodes whose kernels always bind a freshly allocated value — never an
+#: alias of an input object — so their single-use temp outputs can be
+#: overwritten.  Aliasing producers (``as.matrix``, scalar-condition
+#: ``ifelse``, variable ops) are deliberately absent.
+_FRESH_PRODUCERS = frozenset({
+    "+", "-", "*", "/", "^", "%%", "%/%", "min2", "max2",
+    "exp", "log", "sqrt", "abs", "round", "floor", "ceil", "sign",
+    "sigmoid",
+    "mm", "tsmm", "t", "rev", "solve", "inv", "cbind", "rbind", "diag",
+})
+
+
+def mark_inplace(block: BasicBlock, protected: set[str]) -> None:
+    """Mark operand slots eligible for in-place elementwise execution.
+
+    A slot qualifies when the operand is a compiler temporary (``_t*``)
+    that is (a) produced earlier in the same basic block by an instruction
+    guaranteed to bind a fresh value, (b) used exactly once in the block —
+    by this instruction — and (c) not protected (kept alive for the
+    enclosing control block).  Such a temporary dies at this instruction,
+    so the kernel may overwrite its buffer instead of allocating.  The
+    runtime additionally requires that no value can outlive its binding
+    (``ExecutionContext.allow_inplace``: no lineage cache, no buffer
+    pool).
+    """
+    from repro.runtime.instructions.cp import (ComputeInstruction,
+                                               DataGenInstruction)
+
+    use_count: dict[str, int] = {}
+    def_count: dict[str, int] = {}
+    producer: dict[str, int] = {}
+    for pos, inst in enumerate(block.instructions):
+        for name in inst.input_names():
+            use_count[name] = use_count.get(name, 0) + 1
+        for name in inst.outputs:
+            def_count[name] = def_count.get(name, 0) + 1
+        fresh = (isinstance(inst, ComputeInstruction)
+                 and inst.opcode in _FRESH_PRODUCERS) \
+            or isinstance(inst, DataGenInstruction)
+        if fresh:
+            for name in inst.outputs:
+                producer[name] = pos
+
+    for pos, inst in enumerate(block.instructions):
+        if not isinstance(inst, ComputeInstruction) \
+                or inst.opcode not in _INPLACE_CONSUMERS:
+            continue
+        slots = []
+        for slot, op in enumerate(inst.operands):
+            name = op.name
+            if op.is_literal or not name.startswith("_t") \
+                    or name in protected:
+                continue
+            if (use_count.get(name) == 1 and def_count.get(name) == 1
+                    and producer.get(name, len(block.instructions)) < pos):
+                slots.append(slot)
+        if slots:
+            inst.inplace_slots = tuple(slots)
+
+
+def mark_inplace_all(blocks: list[ProgramBlock]) -> None:
+    """Run :func:`mark_inplace` over a block hierarchy.
+
+    Mirrors the protected sets of rmvar insertion: condition predicates,
+    range operands, and sequence temps outlive their basic block and must
+    not be overwritten.
+    """
+    for block in blocks:
+        if isinstance(block, BasicBlock):
+            mark_inplace(block, set())
+        elif isinstance(block, IfBlock):
+            protected = ({block.pred.name}
+                         if not block.pred.is_literal else set())
+            mark_inplace(block.cond_block, protected)
+            mark_inplace_all(block.then_blocks)
+            mark_inplace_all(block.else_blocks)
+        elif isinstance(block, ForBlock):
+            protected = {op.name for op in (block.range_ops or ())
+                         if not op.is_literal}
+            if block.seq_var:
+                protected.add(block.seq_var)
+            mark_inplace(block.seq_block, protected)
+            mark_inplace_all(block.body)
+        elif isinstance(block, WhileBlock):
+            protected = ({block.pred.name}
+                         if not block.pred.is_literal else set())
+            mark_inplace(block.cond_block, protected)
+            mark_inplace_all(block.body)
 
 
 def insert_rmvar(block: BasicBlock, protected: set[str]) -> None:

@@ -199,7 +199,7 @@ def make_dedup_items(patch: LineagePatch, inputs: list[LineageItem],
     all_inputs = list(inputs)
     all_inputs.extend(literal_item(seed, seed=True) for seed in seeds)
     dedup_hash = hash(("dedup", patch.uid)
-                      + tuple(i._hash for i in all_inputs))
+                      + tuple(hash(i) for i in all_inputs))
     dedup = LineageItem("dedup", all_inputs, patch.uid,
                         hash_override=dedup_hash)
     out_hashes = patch.fold_hashes([i._hash for i in all_inputs])

@@ -5,12 +5,28 @@ an ordered list of input items, and an optional data string (literal value,
 system-generated seed, dedup patch key, ...).  The DAG encodes the exact
 creation process of an intermediate, without the control-flow computation.
 
-Hashes are materialized at construction: the hash of an item is a hash over
-its opcode, data, and the hashes of all inputs, so constructing and hashing
-a new item over existing inputs is O(#inputs) (constant for fixed arity),
-exactly as required for cheap cache probing (Section 4.1).  Equality is
-structural and implemented non-recursively with memoization, so large DAGs
-with shared sub-DAGs are compared without exponential blowup.
+The hash of an item is a hash over its opcode, data, and the hashes of all
+inputs, so hashing a new item over already-hashed inputs is O(#inputs)
+(constant for fixed arity), exactly as required for cheap cache probing
+(Section 4.1).  Hashes (and DAG heights) are computed *lazily* and
+memoized: with interning, identity — not hashing — is the equality
+mechanism on the tracing path, so plain tracing (no reuse) never pays for
+hash materialization at all; the first cache probe computes and caches
+hashes bottom-up, after which per-item hashing is O(#inputs) again.
+Equality is structural and implemented non-recursively with memoization,
+so large DAGs with shared sub-DAGs are compared without exponential
+blowup.
+
+Items are *interned* (hash-consed): a weak-valued table keyed on
+``(opcode, data, input identities)`` guarantees that structurally equal
+DAGs built from the same leaves are the **same object**.  Equality on the
+hot probe path therefore short-circuits to pointer identity, and a cache
+probe is a plain dict hit with no structural walk.  The structural walk is
+retained only as a fallback for non-interned items (``dedup``/``dout``
+carry overridden hashes and resolve through patches).  Interning is safe
+with id-based keys because a live interned item holds strong references to
+its inputs — their ids cannot be recycled while the entry is alive — and
+dead entries are removed by the weak-value callback.
 
 Special opcodes:
 
@@ -27,36 +43,133 @@ Special opcodes:
 from __future__ import annotations
 
 import itertools
-import threading
+import weakref
 from typing import Iterable, Iterator
 
 _ID_COUNTER = itertools.count(1)
-_ID_LOCK = threading.Lock()
 
 
 def _next_id() -> int:
-    with _ID_LOCK:
-        return next(_ID_COUNTER)
+    # a bare next() on itertools.count is atomic under the GIL; ids stay
+    # unique and monotone without a lock on the tracing hot path
+    return next(_ID_COUNTER)
+
+
+class _InternRef(weakref.ref):
+    """Weak entry of the intern table, carrying its own key.
+
+    The ``key`` attribute is assigned after construction so both
+    ``__new__`` and ``__init__`` stay the C implementations of
+    ``weakref.ref`` (entry creation is on the tracing hot path).
+    """
+
+    __slots__ = ("key",)
+
+
+#: weak-valued hash-consing table: (opcode, data, input ids) -> item.
+#: A plain dict of weak refs rather than a WeakValueDictionary — entry
+#: creation is on the tracing hot path and the direct form skips the
+#: wrapper's per-access bookkeeping.
+_INTERN: dict[tuple, _InternRef] = {}
+_INTERNING = True
+
+
+def _intern_expire(wr: _InternRef) -> None:
+    # callbacks run synchronously at deallocation (GIL), but guard anyway:
+    # only drop the entry if it still holds the dying ref
+    if _INTERN.get(wr.key) is wr:
+        del _INTERN[wr.key]
+
+#: instrumentation: number of structural-equality walks performed;
+#: interned probes must never increment this (asserted by tests)
+_STRUCTURAL_EQ_CALLS = 0
+
+#: when True, hashes and heights are materialized at construction, as in
+#: the pre-overhaul implementation — exists only so benchmarks can record
+#: an in-run baseline (see benchmarks/bench_hotpath.py)
+_EAGER_HASHING = False
+
+
+def set_interning(enabled: bool) -> bool:
+    """Enable/disable hash-consing; returns the previous setting.
+
+    Disabling exists for benchmarking the pre-interning behaviour — the
+    structural-equality fallback keeps semantics identical either way.
+    """
+    global _INTERNING
+    previous = _INTERNING
+    _INTERNING = bool(enabled)
+    return previous
+
+
+def interning_enabled() -> bool:
+    return _INTERNING
+
+
+def set_eager_hashing(enabled: bool) -> bool:
+    """Materialize hashes/heights at construction (pre-overhaul behaviour).
+
+    Benchmark baseline support only; returns the previous setting.
+    """
+    global _EAGER_HASHING
+    previous = _EAGER_HASHING
+    _EAGER_HASHING = bool(enabled)
+    return previous
+
+
+def intern_table_size() -> int:
+    """Number of live interned items (weak entries self-expire)."""
+    return len(_INTERN)
+
+
+def structural_eq_calls() -> int:
+    """Total structural-equality walks since process start."""
+    return _STRUCTURAL_EQ_CALLS
 
 
 class LineageItem:
-    """An immutable node in a lineage DAG."""
+    """An immutable node in a lineage DAG.
 
-    __slots__ = ("id", "opcode", "inputs", "data", "_hash", "height")
+    Construction goes through ``__new__`` so structurally identical
+    requests can return the already-interned instance; all attribute
+    initialization happens there (``object.__init__`` ignores the extra
+    arguments when only ``__new__`` is overridden).
+    """
 
-    def __init__(self, opcode: str, inputs: Iterable["LineageItem"] = (),
-                 data: str | None = None, hash_override: int | None = None):
-        self.id = _next_id()
-        self.opcode = opcode
-        self.inputs: tuple[LineageItem, ...] = tuple(inputs)
-        self.data = data
-        self.height = (1 + max((i.height for i in self.inputs), default=-1)
-                       if self.inputs else 0)
-        if hash_override is not None:
-            self._hash = hash_override
-        else:
-            self._hash = hash(
-                (opcode, data) + tuple(i._hash for i in self.inputs))
+    __slots__ = ("id", "opcode", "inputs", "data", "_hash", "_height",
+                 "__weakref__")
+
+    def __new__(cls, opcode: str, inputs: Iterable["LineageItem"] = (),
+                data: str | None = None, hash_override: int | None = None):
+        inputs = tuple(inputs)
+        if hash_override is None and _INTERNING:
+            # keyed on input *identities*: inputs are themselves interned,
+            # so identical ids <=> structurally identical sub-DAGs.
+            # Arity-specialized tuple displays avoid the map+concat on the
+            # dominant unary/binary cases.
+            n = len(inputs)
+            if n == 2:
+                key = (opcode, data, id(inputs[0]), id(inputs[1]))
+            elif n == 1:
+                key = (opcode, data, id(inputs[0]))
+            elif n == 0:
+                key = (opcode, data)
+            else:
+                key = (opcode, data) + tuple(map(id, inputs))
+            wr = _INTERN.get(key)
+            if wr is not None:
+                self = wr()
+                if self is not None:
+                    return self
+            self = super().__new__(cls)
+            _init_item(self, opcode, inputs, data, None)
+            wr = _InternRef(self, _intern_expire)
+            wr.key = key
+            _INTERN[key] = wr
+            return self
+        self = super().__new__(cls)
+        _init_item(self, opcode, inputs, data, hash_override)
+        return self
 
     # ------------------------------------------------------------------
 
@@ -68,15 +181,32 @@ class LineageItem:
     def is_dedup(self) -> bool:
         return self.opcode == "dedup"
 
+    @property
+    def height(self) -> int:
+        h = self._height
+        if h is None:
+            h = _compute_height(self)
+        return h
+
     def __hash__(self) -> int:
-        return self._hash
+        h = self._hash
+        if h is None:
+            h = _compute_hash(self)
+        return h
 
     def __eq__(self, other) -> bool:
         if self is other:
             return True
         if not isinstance(other, LineageItem):
             return NotImplemented
-        if self._hash != other._hash:
+        # shallow check first (no hashing needed): with interned inputs,
+        # elementwise identity of the input tuples already proves
+        # structural equality
+        if (self.opcode == other.opcode and self.data == other.data
+                and len(self.inputs) == len(other.inputs)
+                and all(a is b for a, b in zip(self.inputs, other.inputs))):
+            return True
+        if hash(self) != hash(other):
             return False
         return _structural_equals(self, other)
 
@@ -146,11 +276,109 @@ class LineageItem:
                                        ",".join(sorted(outputs)))
             elif any(c is not o for c, o in zip(children, item.inputs)):
                 resolved = LineageItem(item.opcode, children, item.data,
-                                       hash_override=item._hash)
+                                       hash_override=hash(item))
             else:
                 resolved = item
             memo[id(item)] = resolved
         return memo[id(self)]
+
+
+_OBJ_NEW = object.__new__
+
+
+def traced_item(opcode: str, inputs: tuple) -> LineageItem:
+    """Hot-path constructor for plain traced items (no data, no override).
+
+    Semantically identical to ``LineageItem(opcode, inputs)``; used by the
+    interpreter's compiled dispatch to skip ``type.__call__`` overhead on
+    the per-instruction tracing path.
+    """
+    if not _INTERNING:
+        return LineageItem(opcode, inputs)
+    n = len(inputs)
+    if n == 2:
+        key = (opcode, None, id(inputs[0]), id(inputs[1]))
+    elif n == 1:
+        key = (opcode, None, id(inputs[0]))
+    else:
+        key = (opcode, None) + tuple(map(id, inputs))
+    wr = _INTERN.get(key)
+    if wr is not None:
+        item = wr()
+        if item is not None:
+            return item
+    item = _OBJ_NEW(LineageItem)
+    item.id = next(_ID_COUNTER)
+    item.opcode = opcode
+    item.inputs = inputs
+    item.data = None
+    item._height = None
+    item._hash = None
+    if _EAGER_HASHING:
+        item._hash = hash((opcode, None) + tuple(map(hash, inputs)))
+        item._height = (1 + max(i.height for i in inputs)) if inputs else 0
+    wr = _InternRef(item, _intern_expire)
+    wr.key = key
+    _INTERN[key] = wr
+    return item
+
+
+def _init_item(self: LineageItem, opcode: str,
+               inputs: tuple[LineageItem, ...], data: str | None,
+               hash_override: int | None) -> None:
+    self.id = _next_id()
+    self.opcode = opcode
+    self.inputs = inputs
+    self.data = data
+    self._height = None
+    if hash_override is not None:
+        self._hash = hash_override
+    elif _EAGER_HASHING:
+        self._hash = hash(
+            (opcode, data) + tuple(map(hash, inputs)))
+        self._height = (1 + max(i.height for i in inputs)) if inputs else 0
+    else:
+        self._hash = None
+
+
+def _compute_hash(root: LineageItem) -> int:
+    """Materialize content hashes bottom-up (iterative, memoizing).
+
+    ``hash()`` of a tuple never returns ``None``, so ``None`` is a safe
+    "not yet computed" sentinel.
+    """
+    stack = [root]
+    while stack:
+        item = stack[-1]
+        if item._hash is not None:
+            stack.pop()
+            continue
+        pending = [i for i in item.inputs if i._hash is None]
+        if pending:
+            stack.extend(pending)
+            continue
+        item._hash = hash(
+            (item.opcode, item.data) + tuple(i._hash for i in item.inputs))
+        stack.pop()
+    return root._hash
+
+
+def _compute_height(root: LineageItem) -> int:
+    """Materialize DAG heights bottom-up (iterative, memoizing)."""
+    stack = [root]
+    while stack:
+        item = stack[-1]
+        if item._height is not None:
+            stack.pop()
+            continue
+        pending = [i for i in item.inputs if i._height is None]
+        if pending:
+            stack.extend(pending)
+            continue
+        item._height = (1 + max(i._height for i in item.inputs)
+                        if item.inputs else 0)
+        stack.pop()
+    return root._height
 
 
 def _structural_equals(a: LineageItem, b: LineageItem) -> bool:
@@ -159,6 +387,8 @@ def _structural_equals(a: LineageItem, b: LineageItem) -> bool:
     Dedup items whose hashes match are resolved on demand so normal and
     deduplicated sub-DAGs compare equal.
     """
+    global _STRUCTURAL_EQ_CALLS
+    _STRUCTURAL_EQ_CALLS += 1
     memo: set[tuple[int, int]] = set()
     stack: list[tuple[LineageItem, LineageItem]] = [(a, b)]
     while stack:
@@ -169,7 +399,7 @@ def _structural_equals(a: LineageItem, b: LineageItem) -> bool:
         if key in memo:
             continue
         memo.add(key)
-        if x._hash != y._hash:
+        if hash(x) != hash(y):
             return False
         # resolve dedup indirection when comparing against a plain item
         if (x.opcode in ("dedup", "dout")) != (y.opcode in ("dedup", "dout")):

@@ -152,7 +152,7 @@ def deserialize(text: str) -> LineageItem:
             patch = get_patch(dedup.data)
             resolved = [inp for inp in dedup.inputs]
             out_hash = patch.fold_hashes(
-                [inp._hash for inp in resolved])[data]
+                [hash(inp) for inp in resolved])[data]
             item = LineageItem("dout", inputs, data, hash_override=out_hash)
         else:
             item = LineageItem(opcode, inputs, data)

@@ -124,26 +124,24 @@ class LineageCache:
             entry = self._map.get(item)
             if entry is None:
                 if count:
-                    self.stats.misses += 1
+                    self.stats.record_miss(item.opcode)
                 return None
             self._tick += 1
             entry.last_access = self._tick
             if entry.status == "cached":
                 entry.ref_hits += 1
                 if count:
-                    self.stats.hits += 1
-                    self.stats.saved_compute_time += entry.compute_time
+                    self.stats.record_hit(item.opcode, entry.compute_time)
                 return entry.output
             if entry.status == "spilled":
                 self._restore(entry)
                 entry.ref_hits += 1
                 if count:
-                    self.stats.hits += 1
-                    self.stats.saved_compute_time += entry.compute_time
+                    self.stats.record_hit(item.opcode, entry.compute_time)
                 return entry.output
             entry.ref_misses += 1
             if count:
-                self.stats.misses += 1
+                self.stats.record_miss(item.opcode)
             return None
 
     def acquire(self, item: LineageItem) \
@@ -163,24 +161,22 @@ class LineageCache:
                 entry.last_access = self._tick
                 if entry.status == "cached":
                     entry.ref_hits += 1
-                    self.stats.hits += 1
-                    self.stats.saved_compute_time += entry.compute_time
+                    self.stats.record_hit(item.opcode, entry.compute_time)
                     return "hit", entry.output
                 if entry.status == "spilled":
                     self._restore(entry)
                     entry.ref_hits += 1
-                    self.stats.hits += 1
-                    self.stats.saved_compute_time += entry.compute_time
+                    self.stats.record_hit(item.opcode, entry.compute_time)
                     return "hit", entry.output
                 if entry.status == "placeholder":
                     return "wait", entry
                 # evicted: treat as reservation by reusing the entry
                 entry.ref_misses += 1
-                self.stats.misses += 1
+                self.stats.record_miss(item.opcode)
                 entry.status = "placeholder"
                 entry.reset_event()
                 return "reserved", None
-            self.stats.misses += 1
+            self.stats.record_miss(item.opcode)
             if self.config.cache_budget <= 0:
                 return "reserved", None  # LTP mode: never admit anything
             entry = LineageCacheEntry(item)
@@ -194,8 +190,7 @@ class LineageCache:
             self.stats.placeholder_waits += 1
             if entry.status == "cached":
                 # fulfilled between acquire() and wait_for()
-                self.stats.hits += 1
-                self.stats.saved_compute_time += entry.compute_time
+                self.stats.record_hit(entry.key.opcode, entry.compute_time)
                 entry.ref_hits += 1
                 return entry.output
             if entry.status != "placeholder":
@@ -208,13 +203,12 @@ class LineageCache:
                              "placeholder (possible deadlock)")
         with self._lock:
             if entry.status == "cached":
-                self.stats.hits += 1
-                self.stats.saved_compute_time += entry.compute_time
+                self.stats.record_hit(entry.key.opcode, entry.compute_time)
                 entry.ref_hits += 1
                 return entry.output
             if entry.status == "spilled":
                 self._restore(entry)
-                self.stats.hits += 1
+                self.stats.record_hit(entry.key.opcode, 0.0)
                 entry.ref_hits += 1
                 return entry.output
             return None

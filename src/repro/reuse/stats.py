@@ -2,6 +2,11 @@
 
 Counters are updated under the cache lock; reading is lock-free and meant
 for reporting, not for synchronization.
+
+Hit/miss accounting goes through :meth:`CacheStats.record_hit` /
+:meth:`CacheStats.record_miss`, which also forward the per-opcode outcome
+to an attached :class:`~repro.runtime.profiler.OpProfiler` — cache sites
+update one place and both reports stay consistent by construction.
 """
 
 from __future__ import annotations
@@ -30,6 +35,28 @@ class CacheStats:
     #: seconds spent on spill writes / restores
     spill_time: float = 0.0
     restore_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._profiler = None
+
+    def attach_profiler(self, profiler) -> None:
+        """Mirror per-opcode hit/miss outcomes into an OpProfiler."""
+        self._profiler = profiler
+
+    def record_hit(self, opcode: str, compute_time: float) -> None:
+        """One full-reuse hit for ``opcode`` saving ``compute_time``."""
+        self.hits += 1
+        self.saved_compute_time += compute_time
+        profiler = self._profiler
+        if profiler is not None and profiler.enabled:
+            profiler.record_cache(opcode, True)
+
+    def record_miss(self, opcode: str) -> None:
+        """One probe miss for ``opcode``."""
+        self.misses += 1
+        profiler = self._profiler
+        if profiler is not None and profiler.enabled:
+            profiler.record_cache(opcode, False)
 
     def snapshot(self) -> dict[str, float]:
         return {k: getattr(self, k) for k in self.__dataclass_fields__}

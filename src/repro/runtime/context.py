@@ -143,6 +143,10 @@ class ExecutionContext:
         #: True inside a parfor worker (disables loop dedup, whose
         #: trackers are per-loop-block and not thread-safe)
         self.in_parfor_worker = False
+        #: compute instructions may overwrite single-use temp operands in
+        #: place — only safe when no value can outlive its binding via the
+        #: lineage cache or the buffer pool
+        self.allow_inplace = interpreter.cache is None and pool is None
 
     @property
     def lineage_active(self) -> bool:

@@ -128,6 +128,10 @@ class ComputeInstruction(Instruction):
         self.operands = operands
         self.output = output
         self._kernel = compute_kernel(opcode)
+        #: operand slots the liveness pass proved safe to overwrite in
+        #: place (single-use fresh temporaries); the runtime additionally
+        #: gates on ``ctx.allow_inplace``
+        self.inplace_slots: tuple[int, ...] = ()
 
     @property
     def outputs(self) -> list[str]:
@@ -142,7 +146,24 @@ class ComputeInstruction(Instruction):
 
     def execute(self, ctx, state) -> None:
         values = [op.resolve(ctx) for op in self.operands]
+        if self.inplace_slots and ctx.allow_inplace:
+            result = self._execute_inplace(values)
+            if result is not None:
+                ctx.symbols.set(self.output, result)
+                return
         ctx.symbols.set(self.output, self._kernel(*values))
+
+    def _execute_inplace(self, values: list[Value]) -> Value | None:
+        if len(values) == 2:
+            for slot in self.inplace_slots:
+                result = K.binary_into(self.opcode, values[0], values[1],
+                                       slot)
+                if result is not None:
+                    return result
+            return None
+        if len(values) == 1:
+            return K.unary_into(self.opcode, values[0])
+        return None
 
 
 class DataGenInstruction(Instruction):

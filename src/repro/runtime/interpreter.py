@@ -24,10 +24,11 @@ from repro.compiler.program import (BasicBlock, ForBlock, FunctionProgram,
                                     IfBlock, Program, ProgramBlock,
                                     WhileBlock)
 from repro.config import LimaConfig
-from repro.data.values import ListValue, ScalarValue, StringValue, Value
+from repro.data.values import (ListValue, ScalarValue, StringValue, Value,
+                               wrap)
 from repro.errors import LimaRuntimeError
 from repro.lineage.dedup import DedupTracker, make_dedup_items
-from repro.lineage.item import LineageItem, literal_item
+from repro.lineage.item import LineageItem, literal_item, traced_item
 from repro.lineage.lmap import LineageMap
 from repro.reuse.cache import LineageCache
 from repro.reuse.multilevel import (block_call_item, block_output_item,
@@ -48,6 +49,23 @@ from repro.runtime.instructions.cp import (ComputeInstruction,
 #: dedup is skipped for bodies with more branches than this — the number
 #: of potential patches is exponential in the branch count (Section 3.2)
 _MAX_DEDUP_BRANCHES = 10
+
+#: when True (default), each basic block is compiled once into a list of
+#: (instruction, handler-closure) pairs: the instruction's class and all
+#: static config decisions (lineage on/off, reuse eligibility under this
+#: interpreter's config) are resolved at bind time, so executing an
+#: instruction is a single indirect call with no isinstance ladder and no
+#: repeated flag checks.  The legacy ladder path is kept behind this flag
+#: for A/B measurement (see benchmarks/bench_hotpath.py).
+PRECOMPILED_DISPATCH = True
+
+
+def set_precompiled_dispatch(enabled: bool) -> bool:
+    """Toggle the compiled-dispatch path; returns the previous setting."""
+    global PRECOMPILED_DISPATCH
+    previous = PRECOMPILED_DISPATCH
+    PRECOMPILED_DISPATCH = bool(enabled)
+    return previous
 
 
 class Interpreter:
@@ -80,6 +98,17 @@ class Interpreter:
         # dedup trackers persist per loop block, so re-entering a loop
         # (e.g. per epoch) reuses its lineage patches instead of re-tracing
         self._dedup_trackers: dict[int, DedupTracker] = {}
+        # compiled dispatch: id(block) -> (instruction list, handlers);
+        # the instruction list is stored to guard against id() reuse
+        self._dispatch: dict[int, tuple[list, list]] = {}
+        #: optional OpProfiler recording per-opcode counts and times
+        self.profiler = None
+
+    def attach_profiler(self, profiler) -> None:
+        """Record per-opcode timings (and cache outcomes) into a profiler."""
+        self.profiler = profiler
+        if self.cache is not None:
+            self.cache.stats.attach_profiler(profiler)
 
     # ------------------------------------------------------------------
     # entry points
@@ -134,8 +163,7 @@ class Interpreter:
                 and block.reuse_candidate and block.deterministic):
             if self._execute_block_with_reuse(ctx, block):
                 return
-        for inst in block.instructions:
-            self.execute_instruction(ctx, inst)
+        self._execute_instructions(ctx, block)
 
     @staticmethod
     def _cacheable_outputs(block: ProgramBlock) -> list[str]:
@@ -170,8 +198,7 @@ class Interpreter:
                 ctx.lineage.set(name, hit.lineage)
             return True
         start = time.perf_counter()
-        for inst in block.instructions:
-            self.execute_instruction(ctx, inst)
+        self._execute_instructions(ctx, block)
         elapsed = time.perf_counter() - start
         for name, item in out_items.items():
             value = ctx.symbols.get_or_none(name)
@@ -184,23 +211,251 @@ class Interpreter:
     # instructions
     # ------------------------------------------------------------------
 
+    def _execute_instructions(self, ctx: ExecutionContext,
+                              block: BasicBlock) -> None:
+        """Run a basic block's instructions through compiled dispatch.
+
+        Each block is bound once per interpreter: every instruction gets a
+        specialized handler closure with its class dispatch and static
+        config decisions pre-resolved (see :meth:`_compile_handler`).
+        Subsequent executions of the block are a flat loop of indirect
+        calls.
+        """
+        if not PRECOMPILED_DISPATCH:
+            for inst in block.instructions:
+                self.execute_instruction(ctx, inst)
+            return
+        cached = self._dispatch.get(id(block))
+        if cached is None or cached[0] is not block.instructions:
+            handlers = [self._compile_handler(inst)
+                        for inst in block.instructions]
+            cached = (block.instructions, handlers)
+            self._dispatch[id(block)] = cached
+        instructions, handlers = cached
+        profiler = self.profiler
+        if profiler is None or not profiler.enabled:
+            for pos, handler in enumerate(handlers):
+                try:
+                    handler(ctx)
+                except (LimaRuntimeError, ValueError, FloatingPointError,
+                        ZeroDivisionError) as exc:
+                    self._raise_located(instructions[pos], exc)
+            return
+        perf = time.perf_counter
+        record = profiler.record
+        for pos, handler in enumerate(handlers):
+            start = perf()
+            try:
+                handler(ctx)
+            except (LimaRuntimeError, ValueError, FloatingPointError,
+                    ZeroDivisionError) as exc:
+                self._raise_located(instructions[pos], exc)
+            record(instructions[pos].opcode, perf() - start)
+
+    def _compile_handler(self, inst):
+        """Bind one instruction to a specialized execution closure.
+
+        Static facts — the instruction's class, whether lineage tracing is
+        configured at all, whether full reuse can ever apply to this
+        instruction under this interpreter's config — are resolved here,
+        once.  Only genuinely dynamic state (active dedup tracker, lineage
+        suppression in dedup fast mode) is checked per execution.
+        """
+        if isinstance(inst, VariableInstruction):
+            execute = inst.execute
+            return lambda ctx: execute(ctx, None)
+        if isinstance(inst, FunctionCallInstruction):
+            call = self.execute_function_call
+            return lambda ctx: call(ctx, inst)
+        if isinstance(inst, EvalInstruction):
+            call = self.execute_eval
+            return lambda ctx: call(ctx, inst)
+
+        preprocess = inst.preprocess
+        execute = inst.execute
+        is_leftindex = isinstance(inst, LeftIndexInstruction)
+        record_leftindex = self._record_leftindex
+
+        if isinstance(inst, ComputeInstruction):
+            handler = self._compile_compute_handler(inst)
+            if handler is not None:
+                return handler
+
+        if not self.config.lineage:
+            # static untraced path: no lineage, hence no reuse and no
+            # dedup; left-index updates are still recorded for parfor
+            if is_leftindex:
+                def run_untraced(ctx):
+                    execute(ctx, preprocess(ctx))
+                    if ctx.leftindex_log is not None:
+                        record_leftindex(ctx, inst, None)
+                return run_untraced
+
+            def run_plain(ctx):
+                execute(ctx, preprocess(ctx))
+            return run_plain
+
+        lineage = inst.lineage
+        is_datagen = isinstance(inst, DataGenInstruction)
+        reuse_ok = (self.cache is not None and self.config.reuse_full
+                    and inst.reusable and not inst.unmarked
+                    and inst.opcode in self.config.reusable_opcodes)
+        single_out = len(inst.outputs) == 1
+        full_reuse = self._execute_with_full_reuse
+        multi_reuse = self._execute_multireturn_with_reuse
+        bind = self._bind_lineage
+
+        def run_traced(ctx):
+            state = preprocess(ctx)
+            tracker = ctx.dedup_tracker
+            if is_datagen and tracker is not None and state.get("system"):
+                tracker.record_seed(state["seed"])
+            items = lineage(ctx, state) if ctx.lineage_active else None
+            if reuse_ok and items is not None and tracker is None:
+                if single_out:
+                    full_reuse(ctx, inst, state, items)
+                else:
+                    multi_reuse(ctx, inst, state, items)
+                return
+            execute(ctx, state)
+            if items:
+                for name, item in items.items():
+                    bind(ctx, name, item)
+            if is_leftindex and ctx.leftindex_log is not None:
+                record_leftindex(ctx, inst, items)
+        return run_traced
+
+    def _compile_compute_handler(self, inst):
+        """Fused fast path for :class:`ComputeInstruction`.
+
+        Pure n-in/1-out computations dominate elementwise workloads, so
+        their three-phase protocol (``preprocess``/``lineage``/``execute``)
+        is collapsed into one closure over prebound operand accessors and
+        the kernel.  Instructions that may go through the reuse machinery
+        keep the generic handler (``None`` is returned), as do data-gen,
+        indexing, and multi-return instructions.
+        """
+        if (self.cache is not None and self.config.reuse_full
+                and inst.reusable and not inst.unmarked
+                and inst.opcode in self.config.reusable_opcodes):
+            return None
+        opcode = inst.opcode
+        out = inst.output
+        kernel = inst._kernel
+        inplace_slots = inst.inplace_slots
+        execute_inplace = inst._execute_inplace
+        traced = self.config.lineage
+        scalarize = self._scalarize
+        bind = self._bind_lineage
+        # operand specs: (variable name | None, prewrapped literal value,
+        # raw literal value).  Literal operands are wrapped once here —
+        # wrapped values are immutable by convention and in-place slots
+        # never point at literals (see liveness.mark_inplace)
+        specs = [(None if op.is_literal else op.name,
+                  wrap(op.value) if op.is_literal else None,
+                  op.value)
+                 for op in inst.operands]
+
+        # lineage binding specializes on the static scalarize flag:
+        # value-numbering needs the full _bind_lineage, plain tracing is a
+        # direct store into the lineage map.  Missing operand lineage
+        # surfaces through LineageMap.get for the proper error.
+        if scalarize:
+            def store(ctx, lmap, item):
+                bind(ctx, out, item)
+        else:
+            def store(ctx, lmap, item):
+                lmap._map[out] = item
+
+        if len(specs) == 2:
+            (n0, w0, r0), (n1, w1, r1) = specs
+
+            def run_binary(ctx):
+                symbols = ctx.symbols
+                v0 = w0 if n0 is None else symbols.get(n0)
+                v1 = w1 if n1 is None else symbols.get(n1)
+                result = None
+                if inplace_slots and ctx.allow_inplace:
+                    result = execute_inplace([v0, v1])
+                if result is None:
+                    result = kernel(v0, v1)
+                symbols.set(out, result)
+                if traced and not ctx.lineage_suppressed:
+                    lmap = ctx.lineage
+                    m = lmap._map
+                    i0 = lmap.literal(r0) if n0 is None else m.get(n0)
+                    i1 = lmap.literal(r1) if n1 is None else m.get(n1)
+                    if i0 is None or i1 is None:
+                        i0 = lmap.get(n0) if i0 is None else i0
+                        i1 = lmap.get(n1) if i1 is None else i1
+                    store(ctx, lmap, traced_item(opcode, (i0, i1)))
+            return run_binary
+
+        if len(specs) == 1:
+            n0, w0, r0 = specs[0]
+
+            def run_unary(ctx):
+                symbols = ctx.symbols
+                v0 = w0 if n0 is None else symbols.get(n0)
+                result = None
+                if inplace_slots and ctx.allow_inplace:
+                    result = execute_inplace([v0])
+                if result is None:
+                    result = kernel(v0)
+                symbols.set(out, result)
+                if traced and not ctx.lineage_suppressed:
+                    lmap = ctx.lineage
+                    i0 = (lmap.literal(r0) if n0 is None
+                          else lmap._map.get(n0))
+                    if i0 is None:
+                        i0 = lmap.get(n0)
+                    store(ctx, lmap, traced_item(opcode, (i0,)))
+            return run_unary
+
+        def run_compute(ctx):
+            symbols = ctx.symbols
+            values = [w if n is None else symbols.get(n)
+                      for n, w, _ in specs]
+            if inplace_slots and ctx.allow_inplace:
+                result = execute_inplace(values)
+                if result is None:
+                    result = kernel(*values)
+            else:
+                result = kernel(*values)
+            symbols.set(out, result)
+            if traced and not ctx.lineage_suppressed:
+                lmap = ctx.lineage
+                lget = lmap.get
+                item = traced_item(
+                    opcode,
+                    tuple(lmap.literal(raw) if n is None else lget(n)
+                          for n, _, raw in specs))
+                store(ctx, lmap, item)
+        return run_compute
+
+    @staticmethod
+    def _raise_located(inst, exc) -> None:
+        """Re-raise an execution failure with script source context."""
+        if isinstance(exc, LimaRuntimeError):
+            if getattr(exc, "located", False) or not inst.line:
+                raise exc
+        error = LimaRuntimeError(f"line {inst.line} ({inst.opcode}): {exc}")
+        error.located = True
+        raise error from exc
+
     def execute_instruction(self, ctx: ExecutionContext, inst) -> None:
-        """Execute one instruction, attaching source context to failures."""
+        """Execute one instruction, attaching source context to failures.
+
+        This is the legacy per-instruction entry point (isinstance-ladder
+        dispatch); the compiled path in :meth:`_execute_instructions` is
+        semantically identical.
+        """
         try:
             self._execute_instruction(ctx, inst)
-        except LimaRuntimeError as exc:
-            if getattr(exc, "located", False) or not inst.line:
-                raise
-            error = LimaRuntimeError(
-                f"line {inst.line} ({inst.opcode}): {exc}")
-            error.located = True
-            raise error from exc
-        except (ValueError, FloatingPointError, ZeroDivisionError) as exc:
+        except (LimaRuntimeError, ValueError, FloatingPointError,
+                ZeroDivisionError) as exc:
             # NumPy shape/broadcast errors surface with script context
-            error = LimaRuntimeError(
-                f"line {inst.line} ({inst.opcode}): {exc}")
-            error.located = True
-            raise error from exc
+            self._raise_located(inst, exc)
 
     def _execute_instruction(self, ctx: ExecutionContext, inst) -> None:
         if isinstance(inst, VariableInstruction):
@@ -485,8 +740,7 @@ class Interpreter:
     def _execute_raw(self, ctx: ExecutionContext,
                      block: BasicBlock) -> None:
         """Execute a condition/sequence block without block-level reuse."""
-        for inst in block.instructions:
-            self.execute_instruction(ctx, inst)
+        self._execute_instructions(ctx, block)
 
     def _cleanup_temp(self, ctx: ExecutionContext, operand: Operand) -> None:
         if not operand.is_literal and operand.name.startswith("_t"):

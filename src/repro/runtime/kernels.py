@@ -139,6 +139,102 @@ def unary(opcode: str, operand: Value) -> Value:
 
 
 # ---------------------------------------------------------------------------
+# in-place elementwise fast paths
+# ---------------------------------------------------------------------------
+#
+# When the compiler proves an operand is a single-use temporary produced by
+# a fresh-output kernel in the same basic block (``inplace_slots`` on
+# :class:`~repro.runtime.instructions.cp.ComputeInstruction`), and the
+# runtime proves no value can outlive its binding (no lineage cache, no
+# buffer pool), the elementwise result may overwrite the dying operand's
+# buffer instead of allocating a full new matrix — removing one allocation
+# + copy per op in elementwise chains (the Fig. 6 hot path).
+#
+# Only ufuncs that write float64 results without a dtype change qualify;
+# comparisons/logicals produce bools and are excluded.
+
+_INPLACE_BINARY = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+    "^": np.power,
+    "%%": np.mod,
+    "min2": np.minimum,
+    "max2": np.maximum,
+}
+
+_INPLACE_UNARY = {
+    "exp": np.exp,
+    "log": np.log,
+    "sqrt": np.sqrt,
+    "abs": np.abs,
+    "round": np.round,
+    "floor": np.floor,
+    "ceil": np.ceil,
+    "sign": np.sign,
+}
+
+
+def _inplace_target(value: Value):
+    """The writable float64 buffer of a matrix value, or None."""
+    if not isinstance(value, MatrixValue):
+        return None
+    buf = value.data
+    if buf.dtype != np.float64 or not buf.flags.writeable:
+        return None
+    return buf
+
+
+def binary_into(opcode: str, left: Value, right: Value,
+                into: int) -> Value | None:
+    """Elementwise binary op overwriting operand ``into``'s buffer.
+
+    Returns the result (sharing the overwritten buffer) or None when the
+    operation is not eligible — the caller then falls back to the
+    allocating :func:`binary` kernel.
+    """
+    ufunc = _INPLACE_BINARY.get(opcode)
+    if ufunc is None:
+        return None
+    target = left if into == 0 else right
+    buf = _inplace_target(target)
+    if buf is None:
+        return None
+    other = right if into == 0 else left
+    if isinstance(other, MatrixValue):
+        if other.data.shape != buf.shape:
+            return None  # broadcasting would change the output shape
+        operand = other.data
+    elif isinstance(other, ScalarValue):
+        value = other.value
+        if isinstance(value, bool):
+            value = float(value)
+        if not isinstance(value, (int, float)):
+            return None
+        operand = value
+    else:
+        return None
+    if into == 0:
+        ufunc(buf, operand, out=buf)
+    else:
+        ufunc(operand, buf, out=buf)
+    return MatrixValue(buf)
+
+
+def unary_into(opcode: str, operand: Value) -> Value | None:
+    """Elementwise unary op overwriting the operand's buffer (or None)."""
+    ufunc = _INPLACE_UNARY.get(opcode)
+    if ufunc is None:
+        return None
+    buf = _inplace_target(operand)
+    if buf is None:
+        return None
+    ufunc(buf, out=buf)
+    return MatrixValue(buf)
+
+
+# ---------------------------------------------------------------------------
 # aggregates
 # ---------------------------------------------------------------------------
 

@@ -73,14 +73,18 @@ def _merge_results(ctx: ExecutionContext, block: "ForBlock",
                    contexts: list[ExecutionContext]) -> None:
     merged_vars = [o for o in sorted(block.outputs)
                    if not o.startswith("_t") and o != block.var]
-    leftindexed = set()
+    # group the update logs by target once (iteration order is preserved:
+    # contexts are in iteration order and each worker log is in program
+    # order), instead of rescanning every worker's log per variable
+    updates_by_var: dict[str, list] = {}
     for wctx in contexts:
         for record in wctx.leftindex_log:
-            leftindexed.add(record[0])
+            updates_by_var.setdefault(record[0], []).append(record)
 
     # 1) left-indexed result variables: replay updates in iteration order
     for var in merged_vars:
-        if var not in leftindexed:
+        updates = updates_by_var.get(var)
+        if updates is None:
             continue
         base = ctx.symbols.get_or_none(var)
         if base is None or not isinstance(base, MatrixValue):
@@ -90,14 +94,11 @@ def _merge_results(ctx: ExecutionContext, block: "ForBlock",
         running = base
         running_item = (ctx.lineage.get_or_none(var)
                         if ctx.lineage_active else None)
-        for wctx in contexts:
-            for target, rows, cols, source, src_item in wctx.leftindex_log:
-                if target != var:
-                    continue
-                running = K.left_index(running, source, rows, cols)
-                if running_item is not None and src_item is not None:
-                    running_item = _chain_leftindex(
-                        running_item, src_item, rows, cols)
+        for _target, rows, cols, source, src_item in updates:
+            running = K.left_index(running, source, rows, cols)
+            if running_item is not None and src_item is not None:
+                running_item = _chain_leftindex(
+                    running_item, src_item, rows, cols)
         ctx.symbols.set(var, running)
         if ctx.lineage_active:
             if running_item is not None:
@@ -109,7 +110,7 @@ def _merge_results(ctx: ExecutionContext, block: "ForBlock",
 
     # 2) plain assignments: last iteration wins
     for var in merged_vars:
-        if var in leftindexed:
+        if var in updates_by_var:
             continue
         for wctx in reversed(contexts):
             value = wctx.symbols.get_or_none(var)

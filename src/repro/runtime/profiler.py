@@ -1,0 +1,104 @@
+"""Opcode-level execution profiler (near-zero cost when disabled).
+
+The profiler aggregates three per-opcode counters over a run: execution
+count, total wall-clock time, and cache hit/miss counts.  The interpreter
+checks ``profiler is None or not profiler.enabled`` once per basic block,
+so a disabled (or absent) profiler costs nothing on the per-instruction
+hot path; cache hit/miss counters flow in through
+:meth:`repro.reuse.stats.CacheStats.record_hit` /
+:meth:`~repro.reuse.stats.CacheStats.record_miss`, keeping
+``CacheStats`` and the profiler consistent by construction (one source of
+truth at the call site).
+
+Surfaced via ``repro run --profile`` and usable programmatically::
+
+    profiler = OpProfiler()
+    session.attach_profiler(profiler)
+    session.run(script, inputs=...)
+    print(profiler.report())
+"""
+
+from __future__ import annotations
+
+
+class OpProfiler:
+    """Per-opcode count / total-time / cache-hit counters."""
+
+    __slots__ = ("enabled", "op_count", "op_time", "cache_hits",
+                 "cache_misses")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.op_count: dict[str, int] = {}
+        self.op_time: dict[str, float] = {}
+        self.cache_hits: dict[str, int] = {}
+        self.cache_misses: dict[str, int] = {}
+
+    def reset(self) -> None:
+        self.op_count.clear()
+        self.op_time.clear()
+        self.cache_hits.clear()
+        self.cache_misses.clear()
+
+    # ------------------------------------------------------------------
+    # recording (hot path — keep these tiny)
+    # ------------------------------------------------------------------
+
+    def record(self, opcode: str, seconds: float) -> None:
+        """One executed instruction of ``opcode`` taking ``seconds``."""
+        self.op_count[opcode] = self.op_count.get(opcode, 0) + 1
+        self.op_time[opcode] = self.op_time.get(opcode, 0.0) + seconds
+
+    def record_cache(self, opcode: str, hit: bool) -> None:
+        """One lineage-cache probe outcome for ``opcode``."""
+        table = self.cache_hits if hit else self.cache_misses
+        table[opcode] = table.get(opcode, 0) + 1
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def total_time(self) -> float:
+        return sum(self.op_time.values())
+
+    def total_count(self) -> int:
+        return sum(self.op_count.values())
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-opcode dict: count, total seconds, cache hits/misses."""
+        opcodes = (set(self.op_count) | set(self.cache_hits)
+                   | set(self.cache_misses))
+        return {
+            op: {
+                "count": self.op_count.get(op, 0),
+                "time": self.op_time.get(op, 0.0),
+                "cache_hits": self.cache_hits.get(op, 0),
+                "cache_misses": self.cache_misses.get(op, 0),
+            }
+            for op in opcodes
+        }
+
+    def report(self, top: int | None = None) -> str:
+        """Human-readable table, opcodes sorted by total time descending."""
+        rows = sorted(self.snapshot().items(),
+                      key=lambda kv: kv[1]["time"], reverse=True)
+        if top is not None:
+            rows = rows[:top]
+        lines = [f"{'opcode':<16} {'count':>9} {'total(s)':>10} "
+                 f"{'mean(us)':>10} {'cache h/m':>12}"]
+        for opcode, row in rows:
+            mean_us = (row["time"] / row["count"] * 1e6
+                       if row["count"] else 0.0)
+            cache = (f"{row['cache_hits']}/{row['cache_misses']}"
+                     if row["cache_hits"] or row["cache_misses"] else "-")
+            lines.append(f"{opcode:<16} {row['count']:>9} "
+                         f"{row['time']:>10.4f} {mean_us:>10.1f} "
+                         f"{cache:>12}")
+        lines.append(f"{'TOTAL':<16} {self.total_count():>9} "
+                     f"{self.total_time():>10.4f}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"OpProfiler(enabled={self.enabled}, "
+                f"opcodes={len(self.op_count)}, "
+                f"total={self.total_time():.4f}s)")
