@@ -17,7 +17,16 @@ import numpy as np
 import pytest
 
 from repro import LimaConfig, LimaSession
-from benchmarks.conftest import bench_cold
+
+try:
+    from benchmarks.conftest import bench_cold
+except ModuleNotFoundError:  # standalone: python benchmarks/bench_fig8_...
+    import os
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    from benchmarks.conftest import bench_cold
 
 #: sized so phase P1's multiplies *just* fit (Fig. 8a), forcing the
 #: policies to choose between them and phase P2's cheap additions
@@ -176,3 +185,122 @@ def test_fig8b_policies_agree_numerically(minibatch_data):
     for policy, value in values.items():
         np.testing.assert_allclose(value, base, rtol=1e-9,
                                    err_msg=policy)
+
+
+# ---------------------------------------------------------------------------
+# standalone mode: policy comparison + unified-budget numbers
+#
+#   python benchmarks/bench_fig8_eviction.py --quick
+#
+# Quick mode shrinks the phases pipeline so matrices sit below the buffer
+# pool's participation threshold: live inputs then charge the unified
+# manager nothing, making cache-only (legacy ``cache_budget``) and unified
+# (``memory_budget``) runs directly comparable at the same total bytes.
+# It exits non-zero when the unified manager loses hits versus the legacy
+# cache-only configuration at an equal budget, or when Cost&Size misses
+# its reuse floor — a cheap CI regression gate for the eviction engine.
+# ---------------------------------------------------------------------------
+
+_QUICK_BUDGET = 1024 * 1024
+
+
+def _quick_data():
+    rng = np.random.default_rng(4)
+    return {"X": rng.standard_normal((80, 80)),
+            "Y": rng.standard_normal((80, 80))}
+
+
+def _quick_script():
+    # same three-phase shape, sliced for the 80-row quick input
+    return PHASES_SCRIPT.replace("X[1:500, ]", "X[1:40, ]")
+
+
+def _run_config(config, script, data):
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        sess = LimaSession(config, seed=7)
+        sess.run(script, inputs=data, seed=7)
+    return sess
+
+
+def _report_session(label, sess):
+    stats = sess.stats
+    print(f"  {label:<28} hits={stats.hits:<5} misses={stats.misses:<5} "
+          f"evict_del={stats.evictions_deleted} "
+          f"spilled={stats.evictions_spilled} restores={stats.restores}")
+    if sess.memory is not None:
+        print(f"  {'':<28} {sess.memory.describe()}")
+    return stats.hits
+
+
+def run_standalone(quick=True):
+    if quick:
+        script, data, budget = _quick_script(), _quick_data(), _QUICK_BUDGET
+    else:
+        script, data, budget = (PHASES_SCRIPT,
+                                {k: v for k, v in _phases_full().items()},
+                                _BUDGET)
+    failures = []
+
+    print(f"fig8 phases pipeline (budget={budget >> 10} KiB, "
+          f"{'quick' if quick else 'full'} mode)")
+    print("policy comparison (Table 1):")
+    policy_hits = {}
+    for policy in ("LRU", "DAG-Height", "C&S"):
+        cfg = LimaConfig.hybrid().with_(eviction_policy=_POLICY_MAP[policy],
+                                        memory_budget=budget)
+        sess = _run_config(cfg, script, data)
+        policy_hits[policy] = _report_session(policy, sess)
+    if quick and policy_hits["C&S"] < 300:
+        failures.append(
+            f"C&S reuse floor missed: {policy_hits['C&S']} hits < 300 "
+            "(expected P2 re-admission + P3 multiply hits)")
+
+    print("unified budget vs legacy cache-only (same total bytes):")
+    # LRU without spilling is fully deterministic (no measured compute
+    # times or bandwidth in any eviction decision), so this comparison is
+    # an exact regression gate rather than a timing-noise race; the wider
+    # budget leaves room for genuine reuse under pressure
+    gate_budget = budget + budget // 2
+    cache_only = _run_config(
+        LimaConfig.hybrid().with_(cache_budget=gate_budget, spill=False,
+                                  eviction_policy="lru"), script, data)
+    hits_cache_only = _report_session("cache-only (legacy)", cache_only)
+    unified = _run_config(
+        LimaConfig.hybrid().with_(memory_budget=gate_budget, spill=False,
+                                  eviction_policy="lru"), script, data)
+    hits_unified = _report_session("unified manager", unified)
+    mem = unified.memory_stats
+    print(f"  unified spill/restore counts: "
+          f"cache={mem.cache_spills}/{mem.cache_restores} "
+          f"pool={mem.pool_spills}/{mem.pool_restores} "
+          f"pressure={mem.pressure_events}")
+    if quick and hits_unified < hits_cache_only:
+        failures.append(
+            f"unified manager regressed: {hits_unified} hits vs "
+            f"{hits_cache_only} cache-only at the same budget")
+    if quick and hits_unified == 0:
+        failures.append("unified gate is vacuous: no reuse at all — "
+                        "re-size the quick workload")
+
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    return 1 if failures else 0
+
+
+def _phases_full():
+    rng = np.random.default_rng(4)
+    return {"X": rng.standard_normal((2_000, 600)),
+            "Y": rng.standard_normal((600, 600))}
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Fig. 8 eviction: policy + unified-budget comparison")
+    parser.add_argument("--quick", action="store_true",
+                        help="small data, asserted regression gates")
+    raise SystemExit(run_standalone(quick=parser.parse_args().quick))

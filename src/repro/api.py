@@ -87,8 +87,22 @@ class LimaSession:
         self.config = config or LimaConfig.base()
         self.config.validate()
         self.seed = seed
-        self.cache = (LineageCache(self.config)
+        # one session-wide memory manager: the lineage cache and the
+        # live-variable buffer pool share a single budget, spill backend,
+        # and eviction engine (unified replacement for the paper's static
+        # Section 4.5 partitioning)
+        if self.config.reuse_enabled or self.config.buffer_pool_enabled:
+            from repro.memory.manager import MemoryManager
+            self.memory = MemoryManager(self.config)
+        else:
+            self.memory = None
+        self.cache = (LineageCache(self.config, memory=self.memory)
                       if self.config.reuse_enabled else None)
+        if self.config.buffer_pool_enabled:
+            from repro.runtime.bufferpool import BufferPool
+            self.buffer_pool = BufferPool(memory=self.memory)
+        else:
+            self.buffer_pool = None
         self.output: list[str] = []
         self._programs: dict[str, Program] = {}
         self._run_counter = 0
@@ -105,6 +119,8 @@ class LimaSession:
         self._profiler = profiler
         if self.cache is not None:
             self.cache.stats.attach_profiler(profiler)
+        if profiler is not None and self.memory is not None:
+            profiler.memory_stats = self.memory.stats
 
     # ------------------------------------------------------------------
 
@@ -129,7 +145,8 @@ class LimaSession:
         base_seed = (seed if seed is not None
                      else self.seed * 1_000_003 + self._run_counter)
         interpreter = Interpreter(program, self.config, cache=self.cache,
-                                  output=self.output, base_seed=base_seed)
+                                  output=self.output, base_seed=base_seed,
+                                  pool=self.buffer_pool, memory=self.memory)
         if self._profiler is not None:
             interpreter.attach_profiler(self._profiler)
         bindings = {}
@@ -192,6 +209,14 @@ class LimaSession:
         if self.cache is None:
             return CacheStats()
         return self.cache.stats
+
+    @property
+    def memory_stats(self):
+        """Unified memory-manager statistics (zeros with no manager)."""
+        if self.memory is None:
+            from repro.reuse.stats import MemoryStats
+            return MemoryStats()
+        return self.memory.stats
 
     def clear_cache(self) -> None:
         if self.cache is not None:

@@ -60,6 +60,24 @@ def _inputs_dict(pairs):
     return {name: _load_binding(value) for name, value in (pairs or ())}
 
 
+_SIZE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def _parse_size(spec: str) -> int:
+    """Byte size with an optional K/M/G suffix, e.g. ``512M``."""
+    text = spec.strip().lower().removesuffix("b")
+    factor = 1
+    if text and text[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[text[-1]]
+        text = text[:-1]
+    try:
+        return int(float(text) * factor)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {spec!r}: expected e.g. 268435456, 256M, 2G"
+        ) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -82,8 +100,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--save-var", action="append", default=[],
                      type=_parse_binding, metavar="NAME=PATH",
                      help="save a variable to .npy/.csv after the run")
+    run.add_argument("--memory-budget", type=_parse_size, metavar="BYTES",
+                     help="unified memory budget for the lineage cache and "
+                          "live-variable buffer pool (suffixes K/M/G)")
     run.add_argument("--stats", action="store_true",
-                     help="print lineage cache statistics")
+                     help="print lineage cache and memory-manager statistics")
     run.add_argument("--profile", action="store_true",
                      help="print a per-opcode time/count/cache-hit profile")
 
@@ -115,6 +136,8 @@ def cmd_run(args) -> int:
     with open(args.script, encoding="utf-8") as fh:
         script = fh.read()
     config = _PRESETS[args.config]()
+    if args.memory_budget is not None:
+        config = config.with_(memory_budget=args.memory_budget)
     session = LimaSession(config, seed=args.seed)
     profiler = None
     if args.profile:
@@ -137,6 +160,8 @@ def cmd_run(args) -> int:
     print(f"[{args.config}] elapsed: {elapsed:.3f}s", file=sys.stderr)
     if args.stats:
         print(session.stats, file=sys.stderr)
+        if session.memory is not None:
+            print(session.memory.describe(), file=sys.stderr)
     if profiler is not None:
         print(profiler.report(), file=sys.stderr)
     return 0

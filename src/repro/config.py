@@ -25,6 +25,7 @@ Preset          Meaning in the paper
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
 #: Opcodes whose outputs qualify for caching.  Mirrors the configurable set
@@ -69,14 +70,22 @@ class LimaConfig:
     compiler_assist: bool = False
     #: enable operator fusion of cell-wise chains (Section 3.3)
     fusion: bool = False
-    #: cache eviction policy: "lru", "dagheight", or "costsize" (Table 1)
+    #: eviction policy for the unified memory manager: "lru", "dagheight",
+    #: or "costsize" (Table 1)
     eviction_policy: str = "costsize"
-    #: cache budget in bytes (the paper defaults to 5% of heap; we default
-    #: to 256 MiB which plays the same role on a laptop-scale build)
+    #: unified memory budget in bytes shared by the lineage cache and the
+    #: live-variable buffer pool (``None`` = derive from the deprecated
+    #: ``cache_budget``/``buffer_pool_budget`` aliases below)
+    memory_budget: int | None = None
+    #: DEPRECATED alias: cache byte budget (the paper defaults to 5% of
+    #: heap; we default to 256 MiB which plays the same role on a
+    #: laptop-scale build).  When ``memory_budget`` is unset, this carves
+    #: the cache's fraction of the unified budget; prefer
+    #: ``memory_budget``.
     cache_budget: int = 256 * 1024 * 1024
     #: spill evicted entries to disk when recompute cost exceeds I/O cost
     spill: bool = True
-    #: directory for spill files (None = a per-cache temp directory)
+    #: directory for spill files (None = a per-manager temp directory)
     spill_dir: str | None = None
     #: opcodes that qualify for caching
     reusable_opcodes: frozenset[str] = field(
@@ -85,8 +94,9 @@ class LimaConfig:
     parfor_workers: int | None = None
     #: assumed disk bandwidth (bytes/s) seeding the adaptive I/O estimate
     disk_bandwidth: float = 512.0 * 1024 * 1024
-    #: budget (bytes) for the live-variable buffer pool; None disables
-    #: spilling of live matrices (paper Fig. 2 substrate)
+    #: DEPRECATED alias: extra budget (bytes) carved for the live-variable
+    #: buffer pool; ``None`` disables the pool unless ``memory_budget``
+    #: is set (which always enables it).  Prefer ``memory_budget``.
     buffer_pool_budget: int | None = None
 
     # ------------------------------------------------------------------
@@ -107,10 +117,11 @@ class LimaConfig:
     def ltp() -> "LimaConfig":
         """Lineage tracing plus cache probing (*LTP* in Fig. 6).
 
-        The cache budget is zero, so nothing is ever admitted and every
+        The memory budget is zero, so nothing is ever admitted and every
         probe misses — isolating the probing overhead.
         """
-        return LimaConfig(lineage=True, reuse_full=True, cache_budget=0)
+        return LimaConfig(lineage=True, reuse_full=True, cache_budget=0,
+                          memory_budget=0)
 
     @staticmethod
     def ltd() -> "LimaConfig":
@@ -151,6 +162,39 @@ class LimaConfig:
         """True when any reuse mode requires a lineage cache."""
         return self.reuse_full or self.reuse_partial or self.reuse_multilevel
 
+    @property
+    def buffer_pool_enabled(self) -> bool:
+        """True when live variables participate in memory management.
+
+        Opt-in: either through the deprecated ``buffer_pool_budget`` alias
+        or by setting a (positive) unified ``memory_budget``.
+        """
+        if self.buffer_pool_budget is not None:
+            return True
+        return self.memory_budget is not None and self.memory_budget > 0
+
+    def resolved_memory_budget(self) -> int:
+        """The unified byte budget the memory manager enforces.
+
+        ``memory_budget`` wins when set.  Otherwise the deprecated
+        ``cache_budget``/``buffer_pool_budget`` aliases carve their
+        fractions of one budget: the sum of the cache budget (when reuse
+        is enabled) and the pool budget (when configured) — legacy
+        configurations keep their total memory footprint.
+        """
+        if self.memory_budget is not None:
+            return self.memory_budget
+        legacy = _DEFAULT_CACHE_BUDGET
+        if self.cache_budget != legacy or self.buffer_pool_budget is not None:
+            warnings.warn(
+                "LimaConfig.cache_budget / buffer_pool_budget are "
+                "deprecated aliases; set the unified memory_budget instead",
+                DeprecationWarning, stacklevel=3)
+        budget = self.cache_budget if self.reuse_enabled else 0
+        if self.buffer_pool_budget is not None:
+            budget += self.buffer_pool_budget
+        return budget
+
     def validate(self) -> None:
         """Raise ``ValueError`` on inconsistent settings."""
         if self.eviction_policy not in ("lru", "dagheight", "costsize"):
@@ -160,3 +204,10 @@ class LimaConfig:
             raise ValueError("reuse requires lineage tracing to be enabled")
         if self.cache_budget < 0:
             raise ValueError("cache_budget must be >= 0")
+        if self.memory_budget is not None and self.memory_budget < 0:
+            raise ValueError("memory_budget must be >= 0")
+
+
+#: default of the deprecated ``cache_budget`` alias (used to detect
+#: explicit legacy configuration worth a deprecation warning)
+_DEFAULT_CACHE_BUDGET = 256 * 1024 * 1024

@@ -1,0 +1,16 @@
+"""Unified memory management for cached and live values (Section 4.5).
+
+The paper names the static partitioning between the lineage cache and the
+buffer pool as a limitation; this package removes it.  One
+:class:`~repro.memory.manager.MemoryManager` owns a single byte budget,
+an identity-based (alias-deduplicated) charge ledger, and the eviction
+engine; one :class:`~repro.memory.spill.SpillBackend` owns the spill
+directory and the adaptive bandwidth estimate.  The lineage cache and the
+buffer pool register themselves as *regions* and delegate all budgeting,
+eviction ordering, and spill I/O here.
+"""
+
+from repro.memory.manager import MemoryManager, MemoryRegion
+from repro.memory.spill import SpillBackend
+
+__all__ = ["MemoryManager", "MemoryRegion", "SpillBackend"]

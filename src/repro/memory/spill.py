@@ -1,0 +1,144 @@
+"""The shared spill backend: one directory, ``.npy`` files, one bandwidth
+model.
+
+Before the unified memory manager, the lineage cache and the buffer pool
+each created a private temp directory and the cache kept a private
+exponential-moving-average bandwidth estimate.  Both now live here: every
+spill write and restore read updates one adaptive bandwidth figure, which
+the manager's evict-vs-spill decision consumes regardless of which region
+triggered the I/O.
+
+Lifecycle: the directory is created lazily on the first write.  For
+directories the backend created itself, an ``atexit`` hook (holding only
+the path, never the backend) and ``__del__`` guarantee removal even when
+no one calls :meth:`SpillBackend.close` — the spill-file leak the old
+per-component directories had.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import shutil
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+
+def _cleanup_dir(path: str) -> None:
+    """Best-effort removal of a spill directory (atexit/__del__ safe)."""
+    shutil.rmtree(path, ignore_errors=True)
+
+
+class SpillBackend:
+    """Spill-file storage with an adaptive I/O bandwidth estimate."""
+
+    def __init__(self, directory: str | None = None,
+                 bandwidth: float = 512.0 * 1024 * 1024):
+        #: user-configured directory (``None`` = private temp directory)
+        self._configured_dir = directory
+        self._dir: str | None = None
+        self._owns_dir = False
+        self._counter = 0
+        self._lock = threading.Lock()
+        #: adaptive estimate of disk bandwidth in bytes/s (EMA over
+        #: observed writes and reads; seeds from the configured value)
+        self.bandwidth = float(bandwidth)
+        self.writes = 0
+        self.reads = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.write_time = 0.0
+        self.read_time = 0.0
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+
+    @property
+    def directory(self) -> str | None:
+        """The spill directory, or ``None`` before the first write."""
+        return self._dir
+
+    def _ensure_dir(self) -> str:
+        if self._dir is None:
+            if self._configured_dir is not None:
+                os.makedirs(self._configured_dir, exist_ok=True)
+                self._dir = self._configured_dir
+            else:
+                self._dir = tempfile.mkdtemp(prefix="lima-spill-")
+                self._owns_dir = True
+                atexit.register(_cleanup_dir, self._dir)
+        return self._dir
+
+    def write(self, array: np.ndarray, tag: str = "o") -> str:
+        """Spill an array; returns the file path. Updates the bandwidth."""
+        with self._lock:
+            directory = self._ensure_dir()
+            self._counter += 1
+            path = os.path.join(directory, f"{tag}{self._counter}.npy")
+        start = time.perf_counter()
+        np.save(path, array)
+        elapsed = time.perf_counter() - start
+        size = int(array.nbytes)
+        with self._lock:
+            self.writes += 1
+            self.bytes_written += size
+            self.write_time += elapsed
+            self._observe(size, elapsed)
+        return path
+
+    def read(self, path: str, unlink: bool = True) -> np.ndarray:
+        """Restore a spilled array (removing the file by default)."""
+        start = time.perf_counter()
+        data = np.load(path)
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self.reads += 1
+            self.bytes_read += int(data.nbytes)
+            self.read_time += elapsed
+            self._observe(int(data.nbytes), elapsed)
+        if unlink:
+            self.remove(path)
+        return data
+
+    def remove(self, path: str | None) -> None:
+        """Delete one spill file, ignoring races with cleanup."""
+        if path:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def _observe(self, size: int, elapsed: float) -> None:
+        """Exponential moving average of observed I/O bandwidth."""
+        if elapsed <= 0:
+            return
+        observed = size / elapsed
+        self.bandwidth = 0.8 * self.bandwidth + 0.2 * observed
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Remove all spill files and the directory itself.
+
+        The directory is re-created lazily on the next write, so a
+        cleared backend remains usable.
+        """
+        with self._lock:
+            path, self._dir = self._dir, None
+            self._owns_dir = False
+        if path is not None:
+            _cleanup_dir(path)
+
+    def close(self) -> None:
+        """Remove the spill directory; alias of :meth:`clear`."""
+        self.clear()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        if self._owns_dir and self._dir is not None:
+            _cleanup_dir(self._dir)

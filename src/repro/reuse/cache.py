@@ -11,10 +11,15 @@ time, lineage height, access tick, and reference counts.  It provides
   block on it until the value is added (Section 4.1, task-parallel loops),
 * cost-based eviction (Table 1 policies) with optional disk spilling,
   where an object is spilled only when its re-computation time exceeds
-  the estimated I/O time, with adaptive bandwidth estimates (Section 4.3),
-* group-aware accounting: multiple entries (operation-, block-, and
-  function-level) may reference the same value object; the value's memory
-  is counted once and spilled only when its last entry is evicted.
+  the estimated I/O time, with adaptive bandwidth estimates (Section 4.3).
+
+The cache owns no budget, spill directory, or eviction loop of its own:
+it is a *region* of the unified :class:`~repro.memory.MemoryManager`
+(`repro.memory`), which charges each value once across all holders
+(entry groups at operation/block/function level, and live symbol-table
+bindings when a buffer pool shares the manager), drives pressure
+eviction globally, and decides evict-vs-spill through the shared
+:class:`~repro.memory.SpillBackend` bandwidth model.
 
 Evicted-by-deletion entries keep their metadata so that later misses
 raise their Cost&Size score and the object gets re-admitted — the
@@ -23,18 +28,13 @@ behaviour behind Fig. 8(a).
 
 from __future__ import annotations
 
-import os
-import tempfile
 import threading
-import time
-
-import numpy as np
 
 from repro.config import LimaConfig
 from repro.data.values import MatrixValue, Value
 from repro.errors import ReuseError
 from repro.lineage.item import LineageItem
-from repro.reuse.eviction import get_policy
+from repro.memory.manager import MemoryManager, MemoryRegion
 from repro.reuse.stats import CacheStats
 
 
@@ -94,22 +94,27 @@ class LineageCacheEntry:
             self._event.set()
 
 
-class LineageCache:
-    """Thread-safe lineage cache with cost-based eviction."""
+class LineageCache(MemoryRegion):
+    """Thread-safe lineage cache; a region of the unified memory manager."""
 
-    def __init__(self, config: LimaConfig | None = None):
+    name = "cache"
+
+    def __init__(self, config: LimaConfig | None = None,
+                 memory: MemoryManager | None = None):
         self.config = config or LimaConfig.hybrid()
         self.stats = CacheStats()
-        self._lock = threading.RLock()  # restore() runs under the lock
+        self.memory = memory if memory is not None \
+            else MemoryManager(self.config)
+        # the manager's lock is the cache lock: cross-region eviction
+        # (triggered from either side) runs under one reentrant lock
+        self._lock = self.memory.lock
         self._map: dict[LineageItem, LineageCacheEntry] = {}
-        self._tick = 0
-        self._total = 0                       # bytes of unique cached values
-        self._value_refs: dict[int, int] = {}  # id(value) -> #cached entries
-        self._value_sizes: dict[int, int] = {}
-        self._score = get_policy(self.config.eviction_policy)
-        self._bandwidth = float(self.config.disk_bandwidth)
-        self._spill_dir: str | None = None
-        self._spill_counter = 0
+        self.memory.register_region(self)
+
+    def _touch(self, entry: LineageCacheEntry) -> None:
+        # caller holds the manager lock; bump the shared clock inline
+        self.memory._tick += 1
+        entry.last_access = self.memory._tick
 
     # ------------------------------------------------------------------
     # probing
@@ -126,19 +131,18 @@ class LineageCache:
                 if count:
                     self.stats.record_miss(item.opcode)
                 return None
-            self._tick += 1
-            entry.last_access = self._tick
+            self._touch(entry)
             if entry.status == "cached":
                 entry.ref_hits += 1
                 if count:
                     self.stats.record_hit(item.opcode, entry.compute_time)
                 return entry.output
             if entry.status == "spilled":
-                self._restore(entry)
+                output = self._restore(entry)
                 entry.ref_hits += 1
                 if count:
                     self.stats.record_hit(item.opcode, entry.compute_time)
-                return entry.output
+                return output
             entry.ref_misses += 1
             if count:
                 self.stats.record_miss(item.opcode)
@@ -157,17 +161,16 @@ class LineageCache:
             self.stats.probes += 1
             entry = self._map.get(item)
             if entry is not None:
-                self._tick += 1
-                entry.last_access = self._tick
+                self._touch(entry)
                 if entry.status == "cached":
                     entry.ref_hits += 1
                     self.stats.record_hit(item.opcode, entry.compute_time)
                     return "hit", entry.output
                 if entry.status == "spilled":
-                    self._restore(entry)
+                    output = self._restore(entry)
                     entry.ref_hits += 1
                     self.stats.record_hit(item.opcode, entry.compute_time)
-                    return "hit", entry.output
+                    return "hit", output
                 if entry.status == "placeholder":
                     return "wait", entry
                 # evicted: treat as reservation by reusing the entry
@@ -177,7 +180,7 @@ class LineageCache:
                 entry.reset_event()
                 return "reserved", None
             self.stats.record_miss(item.opcode)
-            if self.config.cache_budget <= 0:
+            if self.memory.budget <= 0:
                 return "reserved", None  # LTP mode: never admit anything
             entry = LineageCacheEntry(item)
             self._map[item] = entry
@@ -207,10 +210,10 @@ class LineageCache:
                 entry.ref_hits += 1
                 return entry.output
             if entry.status == "spilled":
-                self._restore(entry)
+                output = self._restore(entry)
                 self.stats.record_hit(entry.key.opcode, 0.0)
                 entry.ref_hits += 1
-                return entry.output
+                return output
             return None
 
     # ------------------------------------------------------------------
@@ -222,8 +225,8 @@ class LineageCache:
         """Fill a reservation (or insert directly) with a computed value."""
         size = value.nbytes()
         with self._lock:
-            if self.config.cache_budget <= 0 or \
-                    size > self.config.cache_budget:
+            budget = self.memory.budget
+            if budget <= 0 or size > budget:
                 self.stats.rejected += 1
                 self._drop_placeholder(item)
                 return
@@ -238,12 +241,11 @@ class LineageCache:
             entry.status = "cached"
             entry.compute_time = max(compute_time, entry.compute_time)
             entry.size = size
-            self._tick += 1
-            entry.last_access = self._tick
-            self._retain_value(value, size)
+            self._touch(entry)
+            self.memory.charge(value, size, id(entry))
             self.stats.puts += 1
             entry.signal()
-            self._evict_if_needed()
+            self.memory.evict_to_fit()
 
     def put(self, item: LineageItem, value: Value,
             lineage: LineageItem | None, compute_time: float) -> None:
@@ -265,110 +267,60 @@ class LineageCache:
             entry.signal()
 
     # ------------------------------------------------------------------
-    # eviction and spilling
+    # the memory-region protocol (eviction and spilling)
     # ------------------------------------------------------------------
 
-    def _retain_value(self, value: Value, size: int) -> None:
-        vid = id(value)
-        if vid in self._value_refs:
-            self._value_refs[vid] += 1
-        else:
-            self._value_refs[vid] = 1
-            self._value_sizes[vid] = size
-            self._total += size
+    def eviction_candidates(self) -> list[LineageCacheEntry]:
+        return [e for e in self._map.values() if e.status == "cached"]
 
-    def _release_value(self, value: Value) -> bool:
-        """Drop one reference; True when it was the last (group empty)."""
-        vid = id(value)
-        refs = self._value_refs.get(vid, 0) - 1
-        if refs > 0:
-            self._value_refs[vid] = refs
+    def evict(self, entry: LineageCacheEntry, spill: bool) -> bool:
+        """Evict one cached entry (manager-selected victim)."""
+        if entry.status != "cached":
             return False
-        self._value_refs.pop(vid, None)
-        self._total -= self._value_sizes.pop(vid, 0)
-        return True
-
-    #: eviction hysteresis: evict down to this fraction of the budget so
-    #: the scoring pass amortizes over many admissions instead of running
-    #: (and re-sorting all entries) on every put once the cache is full
-    _LOW_WATERMARK = 0.8
-
-    def _evict_if_needed(self) -> None:
-        budget = self.config.cache_budget
-        if self._total <= budget:
-            return
-        target = int(budget * self._LOW_WATERMARK)
-        candidates = [e for e in self._map.values() if e.status == "cached"]
-        candidates.sort(key=self._score)
-        for entry in candidates:
-            if self._total <= target:
-                break
-            self._evict(entry)
-
-    def _evict(self, entry: LineageCacheEntry) -> None:
         output = entry.output
-        last_ref = self._release_value(output.value)
-        if last_ref and self._should_spill(entry):
+        remaining = self.memory.release(output.value, id(entry))
+        if remaining == 0 and spill and isinstance(output.value, MatrixValue):
             self._spill(entry)
         else:
+            # other holders still charge the value (entry groups / live
+            # bindings): spilling would cost I/O without freeing memory
             entry.output = None
             entry.status = "evicted"
             self.stats.evictions_deleted += 1
+            self.memory.stats.evictions_deleted += 1
+        return True
 
-    def _should_spill(self, entry: LineageCacheEntry) -> bool:
-        if not self.config.spill:
-            return False
-        if not isinstance(entry.output.value, MatrixValue):
-            return False
-        if entry.ref_hits + entry.ref_misses <= 1:
-            # never probed after admission (only the creation miss): no
-            # evidence of reuse potential, so deletion beats the spill I/O
-            return False
-        io_time = entry.size / max(self._bandwidth, 1.0)
-        return entry.compute_time > io_time
+    def _evict(self, entry: LineageCacheEntry) -> None:
+        """Force-evict one entry by deletion (testing/maintenance hook)."""
+        with self._lock:
+            self.evict(entry, spill=False)
 
     def _spill(self, entry: LineageCacheEntry) -> None:
-        if self._spill_dir is None:
-            self._spill_dir = (self.config.spill_dir
-                               or tempfile.mkdtemp(prefix="lima-spill-"))
-            os.makedirs(self._spill_dir, exist_ok=True)
-        self._spill_counter += 1
-        path = os.path.join(self._spill_dir, f"e{self._spill_counter}.npy")
-        start = time.perf_counter()
-        np.save(path, entry.output.value.data)
-        elapsed = time.perf_counter() - start
-        self._update_bandwidth(entry.size, elapsed)
-        self.stats.spill_time += elapsed
-        entry.spill_path = path
+        backend = self.memory.backend
+        before = backend.write_time
+        entry.spill_path = backend.write(entry.output.value.data, tag="c")
+        self.stats.spill_time += backend.write_time - before
         # the lineage root is kept; only the value goes to disk
         entry.output = CachedOutput(None, entry.output.lineage)
         entry.status = "spilled"
         self.stats.evictions_spilled += 1
+        self.memory.stats.cache_spills += 1
 
-    def _restore(self, entry: LineageCacheEntry) -> None:
-        start = time.perf_counter()
-        data = np.load(entry.spill_path)
-        elapsed = time.perf_counter() - start
-        self._update_bandwidth(entry.size, elapsed)
-        self.stats.restore_time += elapsed
+    def _restore(self, entry: LineageCacheEntry) -> CachedOutput:
+        backend = self.memory.backend
+        before = backend.read_time
+        data = backend.read(entry.spill_path)
+        self.stats.restore_time += backend.read_time - before
         self.stats.restores += 1
+        self.memory.stats.cache_restores += 1
         value = MatrixValue(data)
-        entry.output = CachedOutput(value, entry.output.lineage)
+        output = CachedOutput(value, entry.output.lineage)
+        entry.output = output
         entry.status = "cached"
-        try:
-            os.unlink(entry.spill_path)
-        except OSError:
-            pass
         entry.spill_path = None
-        self._retain_value(value, entry.size)
-        self._evict_if_needed()
-
-    def _update_bandwidth(self, size: int, elapsed: float) -> None:
-        """Exponential moving average of observed I/O bandwidth."""
-        if elapsed <= 0:
-            return
-        observed = size / elapsed
-        self._bandwidth = 0.8 * self._bandwidth + 0.2 * observed
+        self.memory.charge(value, entry.size, id(entry))
+        self.memory.evict_to_fit()
+        return output
 
     # ------------------------------------------------------------------
     # maintenance / introspection
@@ -376,8 +328,8 @@ class LineageCache:
 
     @property
     def total_size(self) -> int:
-        with self._lock:
-            return self._total
+        """Alias-deduplicated bytes charged to the shared manager."""
+        return self.memory.total
 
     def __len__(self) -> int:
         with self._lock:
@@ -389,15 +341,12 @@ class LineageCache:
             return list(self._map.values())
 
     def clear(self) -> None:
+        backend = self.memory.backend
         with self._lock:
             for entry in self._map.values():
                 if entry.spill_path:
-                    try:
-                        os.unlink(entry.spill_path)
-                    except OSError:
-                        pass
+                    backend.remove(entry.spill_path)
+                elif entry.status == "cached":
+                    self.memory.release(entry.output.value, id(entry))
                 entry.signal()
             self._map.clear()
-            self._value_refs.clear()
-            self._value_sizes.clear()
-            self._total = 0

@@ -1,4 +1,5 @@
-"""Cache eviction policies and scoring functions (paper Table 1).
+"""Eviction policies and scoring functions (paper Table 1), generalized
+to every object the unified memory manager tracks.
 
 ==============  ==========================================================
 Policy          Eviction scoring function (evict the argmin)
@@ -12,42 +13,65 @@ Cost & Size     ``(rh + rm) · c(o) / s(o)`` — preserve objects with a high
 
 ``Cost & Size`` is the default, as in the paper (robust across pipelines
 with temporal locality and mini-batch slicing alike).
+
+The scoring functions accept any *eviction candidate*: an object with
+``last_access``, ``height``, ``ref_hits``, ``ref_misses``,
+``compute_time``, and ``size`` attributes.  Lineage-cache entries keep
+their Table 1 semantics exactly.  Live variables from the buffer pool
+report ``compute_time = None`` — they have no lineage to recompute them
+from, so their cost is ∞-like: under Cost&Size they score ``inf`` and are
+only ever victimized (by spilling, never deletion) after every
+recomputable cached object has been considered, with last-access recency
+breaking ties among them.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+import math
+from typing import Any, Callable
 
-if TYPE_CHECKING:
-    from repro.reuse.cache import LineageCacheEntry
+#: candidate protocol attribute marking an object that cannot be
+#: recomputed (live variables): scored as infinitely costly
+NOT_RECOMPUTABLE = None
 
 
-def lru_score(entry: "LineageCacheEntry") -> float:
+def lru_score(entry: Any) -> float:
     """LRU: oldest last access evicts first (θ normalization is monotone
     and does not change the argmin, so the raw timestamp suffices)."""
     return entry.last_access
 
 
-def dag_height_score(entry: "LineageCacheEntry") -> float:
-    """DAG-Height: evict the deepest lineage first (argmin of 1/h)."""
+def dag_height_score(entry: Any) -> float:
+    """DAG-Height: evict the deepest lineage first (argmin of 1/h).
+
+    Live variables have no lineage DAG (height 0) and therefore score the
+    maximum, 1.0 — victimized only after every cached object.
+    """
     return 1.0 / (1.0 + entry.height)
 
 
-def cost_size_score(entry: "LineageCacheEntry") -> float:
-    """Cost & Size: evict the lowest (rh + rm) * c(o) / s(o) first."""
+def cost_size_score(entry: Any) -> float:
+    """Cost & Size: evict the lowest (rh + rm) * c(o) / s(o) first.
+
+    ``compute_time is None`` (a live variable) scores ``inf``: there is
+    no recompute path, so under memory pressure every finite-cost cached
+    object is a better victim.
+    """
+    if entry.compute_time is NOT_RECOMPUTABLE:
+        return math.inf
     accesses = entry.ref_hits + entry.ref_misses
     size = max(entry.size, 1)
     return accesses * entry.compute_time / size
 
 
-POLICIES: dict[str, Callable[["LineageCacheEntry"], float]] = {
+POLICIES: dict[str, Callable[[Any], float]] = {
     "lru": lru_score,
     "dagheight": dag_height_score,
     "costsize": cost_size_score,
 }
 
 
-def get_policy(name: str) -> Callable[["LineageCacheEntry"], float]:
+def get_policy(name: str) -> Callable[[Any], float]:
     try:
         return POLICIES[name]
     except KeyError:

@@ -1,17 +1,57 @@
-"""Runtime statistics of the lineage cache (Section 5.1).
+"""Runtime statistics of the lineage cache and memory manager (Section 5.1).
 
-Counters are updated under the cache lock; reading is lock-free and meant
-for reporting, not for synchronization.
+Counters are updated under the cache/manager lock; reading is lock-free
+and meant for reporting, not for synchronization.
 
 Hit/miss accounting goes through :meth:`CacheStats.record_hit` /
 :meth:`CacheStats.record_miss`, which also forward the per-opcode outcome
 to an attached :class:`~repro.runtime.profiler.OpProfiler` — cache sites
 update one place and both reports stay consistent by construction.
+
+:class:`MemoryStats` is the single source of truth for the unified
+memory manager (`repro.memory`): charged/peak bytes and per-region
+spill/restore/eviction counts, surfaced by ``repro run --stats`` and
+appended to the opcode profiler's report.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+
+@dataclass
+class MemoryStats:
+    """Counters of the unified :class:`~repro.memory.MemoryManager`."""
+
+    #: bytes currently charged (alias-deduplicated across regions)
+    charged_bytes: int = 0
+    #: high-water mark of :attr:`charged_bytes`
+    peak_bytes: int = 0
+    #: times admission found the manager over budget
+    pressure_events: int = 0
+    #: evictions that deleted a (recomputable) cached object
+    evictions_deleted: int = 0
+    #: cache-region spills / restores
+    cache_spills: int = 0
+    cache_restores: int = 0
+    #: buffer-pool-region spills / restores of live variables
+    pool_spills: int = 0
+    pool_restores: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+    def reset(self) -> None:
+        for name, f in self.__dataclass_fields__.items():
+            setattr(self, name, f.default)
+
+    def __str__(self) -> str:
+        return (f"MemoryStats(charged={self.charged_bytes}, "
+                f"peak={self.peak_bytes}, "
+                f"pressure={self.pressure_events}, "
+                f"evict_del={self.evictions_deleted}, "
+                f"cache_spill={self.cache_spills}/{self.cache_restores}, "
+                f"pool_spill={self.pool_spills}/{self.pool_restores})")
 
 
 @dataclass

@@ -33,6 +33,10 @@ class SymbolTable:
                  pool=None):
         self._map: dict[str, Value] = dict(initial or {})
         self._pool = pool
+        if pool is not None:
+            # the pool holds tables weakly so it can rewrite bindings of
+            # spilled values in any live scope
+            pool.attach_table(self)
 
     def get(self, name: str) -> Value:
         value = self._map.get(name)
@@ -57,12 +61,17 @@ class SymbolTable:
     def set(self, name: str, value: Value) -> None:
         self._map[name] = value
         if self._pool is not None:
+            # admission applies memory pressure internally (the unified
+            # manager may evict from any region, not just this table)
             self._pool.on_set(value)
-            self._pool.evict_if_needed(self)
 
     def replace_raw(self, name: str, value: Value) -> None:
         """Swap a binding without pool accounting (spill internals)."""
         self._map[name] = value
+
+    def raw_items(self) -> list[tuple[str, Value]]:
+        """Raw (name, value) bindings without pool side effects."""
+        return list(self._map.items())
 
     def remove(self, name: str) -> None:
         value = self._map.pop(name, None)

@@ -74,12 +74,17 @@ class Interpreter:
     def __init__(self, program: Program, config: LimaConfig,
                  cache: LineageCache | None = None,
                  output: list[str] | None = None,
-                 base_seed: int = 42):
+                 base_seed: int = 42,
+                 pool=None, memory=None):
         config.validate()
         self.program = program
         self.config = config
-        self.cache = cache if cache is not None else (
-            LineageCache(config) if config.reuse_enabled else None)
+        if cache is not None:
+            self.cache = cache
+        elif config.reuse_enabled:
+            self.cache = LineageCache(config, memory=memory)
+        else:
+            self.cache = None
         self.output = output if output is not None else []
         self.base_seed = base_seed
         # scalar value-numbering: when reuse is on, a computed scalar's
@@ -88,11 +93,21 @@ class Interpreter:
         # computed — this is what lets lmDS calls with the same (reg,
         # icpt) reuse across different tol configs (paper Section 2.3)
         self._scalarize = config.reuse_enabled
-        if config.buffer_pool_budget is not None:
+        # one memory manager spans the cache and (when enabled) the
+        # buffer pool, so both draw on the same budget and spill backend
+        if memory is None and self.cache is not None:
+            memory = self.cache.memory
+        if pool is not None:
+            self.buffer_pool = pool
+        elif config.buffer_pool_enabled:
+            from repro.memory.manager import MemoryManager
             from repro.runtime.bufferpool import BufferPool
-            self.buffer_pool = BufferPool(config.buffer_pool_budget)
+            if memory is None:
+                memory = MemoryManager(config)
+            self.buffer_pool = BufferPool(memory=memory)
         else:
             self.buffer_pool = None
+        self.memory = memory
         import threading
         self._compile_lock = threading.Lock()
         # dedup trackers persist per loop block, so re-entering a loop

@@ -25,7 +25,7 @@ class OpProfiler:
     """Per-opcode count / total-time / cache-hit counters."""
 
     __slots__ = ("enabled", "op_count", "op_time", "cache_hits",
-                 "cache_misses")
+                 "cache_misses", "memory_stats")
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
@@ -33,6 +33,9 @@ class OpProfiler:
         self.op_time: dict[str, float] = {}
         self.cache_hits: dict[str, int] = {}
         self.cache_misses: dict[str, int] = {}
+        #: optional :class:`~repro.reuse.stats.MemoryStats` of the unified
+        #: memory manager, appended to :meth:`report` when attached
+        self.memory_stats = None
 
     def reset(self) -> None:
         self.op_count.clear()
@@ -96,6 +99,8 @@ class OpProfiler:
                          f"{cache:>12}")
         lines.append(f"{'TOTAL':<16} {self.total_count():>9} "
                      f"{self.total_time():>10.4f}")
+        if self.memory_stats is not None:
+            lines.append(str(self.memory_stats))
         return "\n".join(lines)
 
     def __repr__(self) -> str:

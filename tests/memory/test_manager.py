@@ -1,0 +1,107 @@
+"""Unit tests of the unified memory manager's charge ledger and budget
+resolution (alias-deduplicated accounting, deprecated config aliases)."""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.config import LimaConfig
+from repro.data.values import MatrixValue
+from repro.memory import MemoryManager
+
+MB = 1024 * 1024
+
+
+def mat(mb=1):
+    return MatrixValue(np.ones((mb * 256, 512)))
+
+
+class TestChargeLedger:
+    def test_alias_charged_once(self):
+        mgr = MemoryManager(budget=8 * MB)
+        value = mat()
+        size = value.nbytes()
+        mgr.charge(value, size, holder=1)
+        mgr.charge(value, size, holder=2)
+        assert mgr.total == size
+        assert mgr.holders(value) == 2
+
+    def test_charge_freed_by_last_holder(self):
+        mgr = MemoryManager(budget=8 * MB)
+        value = mat()
+        size = value.nbytes()
+        mgr.charge(value, size, holder=1)
+        mgr.charge(value, size, holder=2)
+        assert mgr.release(value, holder=1) == 1
+        assert mgr.total == size
+        assert mgr.release(value, holder=2) == 0
+        assert mgr.total == 0
+
+    def test_duplicate_holder_idempotent(self):
+        mgr = MemoryManager(budget=8 * MB)
+        value = mat()
+        mgr.charge(value, value.nbytes(), holder=1)
+        mgr.charge(value, value.nbytes(), holder=1)
+        assert mgr.holders(value) == 1
+
+    def test_dead_value_reaped(self):
+        mgr = MemoryManager(budget=8 * MB)
+        value = mat()
+        mgr.charge(value, value.nbytes(), holder=1)
+        assert mgr.total > 0
+        del value
+        gc.collect()
+        assert mgr.total == 0
+
+    def test_peak_tracks_high_water_mark(self):
+        mgr = MemoryManager(budget=8 * MB)
+        a, b = mat(), mat()
+        mgr.charge(a, a.nbytes(), holder=1)
+        mgr.charge(b, b.nbytes(), holder=1)
+        peak = mgr.stats.peak_bytes
+        mgr.release(a, holder=1)
+        assert mgr.stats.peak_bytes == peak
+        assert mgr.total < peak
+
+
+class TestBudgetResolution:
+    def test_memory_budget_wins_silently(self):
+        cfg = LimaConfig.hybrid().with_(memory_budget=7 * MB)
+        assert cfg.resolved_memory_budget() == 7 * MB
+
+    def test_deprecated_cache_budget_warns(self):
+        cfg = LimaConfig.hybrid().with_(cache_budget=3 * MB)
+        with pytest.warns(DeprecationWarning):
+            assert cfg.resolved_memory_budget() == 3 * MB
+
+    def test_deprecated_aliases_sum_into_one_budget(self):
+        cfg = LimaConfig.hybrid().with_(cache_budget=3 * MB,
+                                        buffer_pool_budget=2 * MB)
+        with pytest.warns(DeprecationWarning):
+            assert cfg.resolved_memory_budget() == 5 * MB
+
+    def test_pool_budget_without_reuse(self):
+        cfg = LimaConfig.base().with_(buffer_pool_budget=2 * MB)
+        with pytest.warns(DeprecationWarning):
+            assert cfg.resolved_memory_budget() == 2 * MB
+        assert cfg.buffer_pool_enabled
+
+    def test_memory_budget_enables_pool(self):
+        assert LimaConfig.base().with_(memory_budget=MB).buffer_pool_enabled
+        assert not LimaConfig.base().buffer_pool_enabled
+        # zero budget (the LTP preset) must not enable live-variable
+        # pooling: everything would spill immediately
+        assert not LimaConfig.ltp().buffer_pool_enabled
+
+    def test_negative_memory_budget_rejected(self):
+        with pytest.raises(ValueError):
+            LimaConfig.base().with_(memory_budget=-1).validate()
+
+    def test_manager_reads_config(self):
+        cfg = LimaConfig.hybrid().with_(memory_budget=7 * MB,
+                                        eviction_policy="lru",
+                                        spill=False)
+        mgr = MemoryManager(cfg)
+        assert mgr.budget == 7 * MB
+        assert mgr.spill is False

@@ -1,0 +1,91 @@
+"""Spill-backend lifecycle tests: one directory, adaptive bandwidth, and
+no leaked spill directories (the old per-component temp dirs leaked)."""
+
+import os
+
+import numpy as np
+
+from repro.memory import SpillBackend
+
+
+def array(mb=1):
+    return np.ones((mb * 256, 512))
+
+
+class TestIO:
+    def test_write_read_round_trip(self):
+        backend = SpillBackend()
+        try:
+            data = np.arange(12.0).reshape(3, 4)
+            path = backend.write(data)
+            assert os.path.isfile(path)
+            restored = backend.read(path)
+            np.testing.assert_array_equal(restored, data)
+            assert not os.path.exists(path)  # unlinked on restore
+        finally:
+            backend.close()
+
+    def test_read_keep_file(self):
+        backend = SpillBackend()
+        try:
+            path = backend.write(array())
+            backend.read(path, unlink=False)
+            assert os.path.isfile(path)
+        finally:
+            backend.close()
+
+    def test_tags_separate_regions(self):
+        backend = SpillBackend()
+        try:
+            cache_file = backend.write(array(), tag="c")
+            pool_file = backend.write(array(), tag="p")
+            assert os.path.basename(cache_file).startswith("c")
+            assert os.path.basename(pool_file).startswith("p")
+            assert os.path.dirname(cache_file) == os.path.dirname(pool_file)
+        finally:
+            backend.close()
+
+    def test_bandwidth_adapts_to_observed_io(self):
+        backend = SpillBackend(bandwidth=1.0)  # absurd seed: 1 byte/s
+        try:
+            backend.write(array())
+            assert backend.bandwidth > 1.0  # EMA pulled toward reality
+            assert backend.writes == 1
+            assert backend.bytes_written == array().nbytes
+        finally:
+            backend.close()
+
+
+class TestLifecycle:
+    def test_directory_created_lazily(self):
+        backend = SpillBackend()
+        assert backend.directory is None
+        backend.write(array())
+        assert os.path.isdir(backend.directory)
+        backend.close()
+
+    def test_clear_removes_directory_and_stays_usable(self):
+        backend = SpillBackend()
+        backend.write(array())
+        first_dir = backend.directory
+        backend.clear()
+        assert not os.path.exists(first_dir)
+        # a cleared backend lazily re-creates its directory
+        path = backend.write(array())
+        assert os.path.isfile(path)
+        backend.close()
+        assert not os.path.exists(os.path.dirname(path))
+
+    def test_close_removes_directory(self):
+        backend = SpillBackend()
+        backend.write(array())
+        spill_dir = backend.directory
+        backend.close()
+        assert not os.path.exists(spill_dir)
+
+    def test_configured_directory_honored(self, tmp_path):
+        backend = SpillBackend(directory=str(tmp_path / "spills"))
+        path = backend.write(array())
+        assert path.startswith(str(tmp_path / "spills"))
+        backend.close()
+        assert not os.path.exists(str(tmp_path / "spills"))
