@@ -296,6 +296,84 @@ def _phases_full():
             "Y": rng.standard_normal((600, 600))}
 
 
+# ---------------------------------------------------------------------------
+# chaos mode: --inject-fault POINT:KIND[:rate=R,seed=S,times=N]
+#
+#   python benchmarks/bench_fig8_eviction.py --quick \
+#       --inject-fault spill.read:corrupt:rate=0.2
+#
+# Runs a spill-heavy workload twice — fault-free, then with the given
+# faults armed — and exits non-zero unless the faulted run produced a
+# bit-identical result with nonzero recoveries.  The workload restores
+# from disk often enough that a rate=0.2 fault at the default seed fires
+# many times.
+# ---------------------------------------------------------------------------
+
+CHAOS_SCRIPT = """
+s = 0;
+for (r in 1:5) {
+  for (i in 1:10) {
+    M = (X * i) %*% Y;
+    s = s + sum(M);
+  }
+}
+out = s;
+"""
+
+
+def _chaos_config(**kwargs):
+    # lru + a huge configured bandwidth keep every spill decision
+    # deterministic (costsize scores use measured wall time)
+    return LimaConfig.full().with_(
+        memory_budget=2 * 1024 * 1024, eviction_policy="lru",
+        disk_bandwidth=1e15, **kwargs)
+
+
+def run_chaos(specs):
+    import os
+
+    # the fault-free baseline must actually be fault-free, even when the
+    # process inherits a chaos environment
+    os.environ.pop("LIMA_INJECT_FAULT", None)
+    rng = np.random.default_rng(99)
+    data = {"X": rng.standard_normal((200, 100)),
+            "Y": rng.standard_normal((100, 200))}
+    failures = []
+
+    print(f"chaos gate: {', '.join(specs)}")
+    clean = LimaSession(_chaos_config(), seed=5)
+    clean_out = clean.run(CHAOS_SCRIPT, inputs=data, seed=5).get("out")
+    print(f"  {'fault-free':<12} out={clean_out!r} "
+          f"spilled={clean.stats.evictions_spilled} "
+          f"restores={clean.stats.restores}")
+    if clean.stats.restores == 0:
+        failures.append("chaos gate is vacuous: the fault-free run never "
+                        "restored from disk — re-size the workload")
+
+    chaos = LimaSession(_chaos_config(fault_specs=tuple(specs)), seed=5)
+    chaos_out = chaos.run(CHAOS_SCRIPT, inputs=data, seed=5).get("out")
+    stats = chaos.resilience.stats
+    print(f"  {'injected':<12} out={chaos_out!r}")
+    print(f"  {stats}")
+    if chaos_out != clean_out:
+        failures.append(f"faulted result diverged: {chaos_out!r} != "
+                        f"{clean_out!r}")
+    if stats.faults_injected == 0:
+        failures.append("no faults fired: the spec never triggered — "
+                        "raise the rate or re-size the workload")
+    if stats.recoveries == 0:
+        failures.append("faults fired but nothing was recovered")
+    if stats.entries_lost:
+        failures.append(f"{stats.entries_lost} cache entr(y/ies) lost — "
+                        "lineage recovery failed")
+    if chaos.memory.degraded:
+        failures.append("memory manager degraded during the chaos run")
+
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    return 1 if failures else 0
+
+
 if __name__ == "__main__":
     import argparse
 
@@ -303,4 +381,12 @@ if __name__ == "__main__":
         description="Fig. 8 eviction: policy + unified-budget comparison")
     parser.add_argument("--quick", action="store_true",
                         help="small data, asserted regression gates")
-    raise SystemExit(run_standalone(quick=parser.parse_args().quick))
+    parser.add_argument("--inject-fault", action="append", default=[],
+                        metavar="POINT:KIND[:rate=R,seed=S,times=N]",
+                        help="also run the chaos gate with these faults "
+                             "armed (repeatable)")
+    _args = parser.parse_args()
+    _rc = run_standalone(quick=_args.quick)
+    if _args.inject_fault:
+        _rc = run_chaos(_args.inject_fault) or _rc
+    raise SystemExit(_rc)

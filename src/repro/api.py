@@ -91,9 +91,15 @@ class LimaSession:
         # live-variable buffer pool share a single budget, spill backend,
         # and eviction engine (unified replacement for the paper's static
         # Section 4.5 partitioning)
+        # one resilience manager (fault injector + recovery policies +
+        # stats) spans the whole session; the memory manager, the cache,
+        # and every interpreter share it
+        from repro.resilience.recovery import ResilienceManager
+        self.resilience = ResilienceManager(self.config)
         if self.config.reuse_enabled or self.config.buffer_pool_enabled:
             from repro.memory.manager import MemoryManager
-            self.memory = MemoryManager(self.config)
+            self.memory = MemoryManager(self.config,
+                                        resilience=self.resilience)
         else:
             self.memory = None
         self.cache = (LineageCache(self.config, memory=self.memory)
@@ -121,6 +127,8 @@ class LimaSession:
             self.cache.stats.attach_profiler(profiler)
         if profiler is not None and self.memory is not None:
             profiler.memory_stats = self.memory.stats
+        if profiler is not None:
+            profiler.resilience_stats = self.resilience.stats
 
     # ------------------------------------------------------------------
 
@@ -146,13 +154,17 @@ class LimaSession:
                      else self.seed * 1_000_003 + self._run_counter)
         interpreter = Interpreter(program, self.config, cache=self.cache,
                                   output=self.output, base_seed=base_seed,
-                                  pool=self.buffer_pool, memory=self.memory)
+                                  pool=self.buffer_pool, memory=self.memory,
+                                  resilience=self.resilience)
         if self._profiler is not None:
             interpreter.attach_profiler(self._profiler)
         bindings = {}
         for name, obj in (inputs or {}).items():
             value = wrap(obj)
             bindings[name] = (value, self._input_item(name, value))
+            # inputs double as the base of the recovery log: lineage
+            # recomputation re-binds its input leaves from here
+            self.resilience.register_input(name, value)
         stdout_start = len(self.output)
         ctx = interpreter.run(bindings)
         return RunResult(ctx, stdout_start)

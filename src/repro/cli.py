@@ -103,8 +103,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--memory-budget", type=_parse_size, metavar="BYTES",
                      help="unified memory budget for the lineage cache and "
                           "live-variable buffer pool (suffixes K/M/G)")
+    run.add_argument("--inject-fault", action="append", default=[],
+                     metavar="POINT:KIND[:rate=R,seed=S,times=N]",
+                     help="arm a deterministic fault at a named point "
+                          "(e.g. spill.read:corrupt:rate=0.2); repeatable")
     run.add_argument("--stats", action="store_true",
-                     help="print lineage cache and memory-manager statistics")
+                     help="print lineage cache, memory-manager, and "
+                          "resilience statistics")
     run.add_argument("--profile", action="store_true",
                      help="print a per-opcode time/count/cache-hit profile")
 
@@ -138,6 +143,8 @@ def cmd_run(args) -> int:
     config = _PRESETS[args.config]()
     if args.memory_budget is not None:
         config = config.with_(memory_budget=args.memory_budget)
+    if args.inject_fault:
+        config = config.with_(fault_specs=tuple(args.inject_fault))
     session = LimaSession(config, seed=args.seed)
     profiler = None
     if args.profile:
@@ -162,6 +169,7 @@ def cmd_run(args) -> int:
         print(session.stats, file=sys.stderr)
         if session.memory is not None:
             print(session.memory.describe(), file=sys.stderr)
+        print(session.resilience.describe(), file=sys.stderr)
     if profiler is not None:
         print(profiler.report(), file=sys.stderr)
     return 0

@@ -98,6 +98,17 @@ class LimaConfig:
     #: buffer pool; ``None`` disables the pool unless ``memory_budget``
     #: is set (which always enables it).  Prefer ``memory_budget``.
     buffer_pool_budget: int | None = None
+    #: fault-injection specs (``point:kind[:rate=R,seed=S,times=N]``
+    #: strings or FaultSpec objects); empty = no instrumented faults
+    fault_specs: tuple = ()
+    #: failed parfor iterations are retried on fresh worker contexts this
+    #: many rounds before the sequential fallback
+    parfor_retries: int = 2
+    #: transient spill-read failures are retried this many times with
+    #: bounded exponential backoff before lineage recovery takes over
+    spill_retries: int = 3
+    #: initial delay (seconds) of the spill-read retry backoff
+    retry_backoff: float = 0.01
 
     # ------------------------------------------------------------------
     # presets
@@ -206,6 +217,17 @@ class LimaConfig:
             raise ValueError("cache_budget must be >= 0")
         if self.memory_budget is not None and self.memory_budget < 0:
             raise ValueError("memory_budget must be >= 0")
+        if self.parfor_retries < 0:
+            raise ValueError("parfor_retries must be >= 0")
+        if self.spill_retries < 0:
+            raise ValueError("spill_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if self.fault_specs:
+            from repro.resilience.faults import FaultSpec, parse_fault_spec
+            for spec in self.fault_specs:
+                if not isinstance(spec, FaultSpec):
+                    parse_fault_spec(spec)  # raises ValueError when invalid
 
 
 #: default of the deprecated ``cache_budget`` alias (used to detect

@@ -44,3 +44,36 @@ class LineageError(LimaError):
 
 class ReuseError(LimaError):
     """The lineage cache or a reuse rewrite failed."""
+
+
+class SpillError(LimaError):
+    """A spill file could not be written or restored."""
+
+
+class SpillCorruptionError(SpillError):
+    """A spill file failed verification: bad magic, short read, or a
+    CRC32 checksum mismatch.  Never retried (the bytes on disk are
+    wrong); recovery falls through to lineage-based recomputation."""
+
+
+class WorkerCrashError(LimaRuntimeError):
+    """A parfor worker crashed mid-iteration (fault injection's ``crash``
+    kind); the iteration is retried on a fresh worker context."""
+
+
+class ParforError(LimaRuntimeError):
+    """One or more parfor iterations failed after per-iteration retries
+    and the sequential fallback.
+
+    Carries the 0-based indices of the failing iterations and their final
+    causes, so callers can report exactly what was lost.
+    """
+
+    def __init__(self, message: str, iterations=(), causes=()):
+        super().__init__(message)
+        self.iterations = list(iterations)
+        self.causes = list(causes)
+
+
+class ResilienceWarning(RuntimeWarning):
+    """Execution continued through a recovered fault or degradation."""

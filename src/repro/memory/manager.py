@@ -29,9 +29,12 @@ names as a limitation) with a single subsystem:
 from __future__ import annotations
 
 import threading
+import warnings
 import weakref
 from typing import Any, Iterable
 
+from repro.errors import ResilienceWarning
+from repro.resilience.recovery import ResilienceManager
 from repro.reuse.eviction import get_policy
 from repro.reuse.stats import MemoryStats
 from repro.memory.spill import SpillBackend
@@ -57,6 +60,10 @@ class MemoryRegion:
         """Evict ``candidate`` (spilling when ``spill``); False = skipped."""
         raise NotImplementedError
 
+    def shed(self) -> None:
+        """Drop whatever the region can safely drop when the manager
+        degrades (recomputable objects only); default is a no-op."""
+
 
 class _Charge:
     """One ledger entry: a tracked value and the holders charging it."""
@@ -76,7 +83,8 @@ class MemoryManager:
                  policy: str | None = None, spill: bool | None = None,
                  spill_dir: str | None = None,
                  bandwidth: float | None = None,
-                 backend: SpillBackend | None = None):
+                 backend: SpillBackend | None = None,
+                 resilience: ResilienceManager | None = None):
         if config is not None:
             if budget is None:
                 budget = config.resolved_memory_budget()
@@ -94,6 +102,12 @@ class MemoryManager:
         self.backend = backend if backend is not None else SpillBackend(
             spill_dir, bandwidth if bandwidth is not None
             else 512.0 * 1024 * 1024)
+        self.resilience = (resilience if resilience is not None
+                           else ResilienceManager(config))
+        self.backend.attach_injector(self.resilience.injector)
+        #: graceful-degradation flag: caching is pass-through when set
+        self.degraded = False
+        self.degrade_reason: str | None = None
         self.stats = MemoryStats()
         #: one lock shared with every region — cross-region eviction then
         #: never takes a second lock, which rules out ordering deadlocks
@@ -206,7 +220,7 @@ class MemoryManager:
         the loop re-checks the deduplicated total after every victim.
         """
         with self.lock:
-            if self._total <= self.budget:
+            if self.degraded or self._total <= self.budget:
                 return 0
             self.stats.pressure_events += 1
             score = self._score
@@ -223,9 +237,36 @@ class MemoryManager:
             for _, _, _, region, cand in candidates:
                 if self._total <= self.budget:
                     break
-                if region.evict(cand, self.should_spill(cand)):
-                    evicted += 1
+                try:
+                    if region.evict(cand, self.should_spill(cand)):
+                        evicted += 1
+                except (OSError, MemoryError) as exc:
+                    # the pressure-relief path itself failed (spill dir
+                    # full, allocation failure during eviction): stop
+                    # trying to enforce the budget and keep executing
+                    self.degrade(f"eviction failed: {exc}")
+                    break
             return evicted
+
+    def degrade(self, reason: str) -> None:
+        """Flip to graceful degradation: caching becomes pass-through.
+
+        Recomputable cached objects are shed (their lineage can rebuild
+        them later), live variables stay in memory untouched, the budget
+        is no longer enforced, and execution continues.  Idempotent.
+        """
+        with self.lock:
+            if self.degraded:
+                return
+            self.degraded = True
+            self.degrade_reason = reason
+            self.resilience.stats.degraded_events += 1
+            for region in self.regions():
+                region.shed()
+        warnings.warn(
+            f"memory manager degraded to pass-through mode: {reason}; "
+            "caching is disabled, live variables stay in memory",
+            ResilienceWarning, stacklevel=2)
 
     def should_spill(self, candidate: Any) -> bool:
         """Evict-vs-spill for one candidate, via the bandwidth model.
@@ -252,6 +293,9 @@ class MemoryManager:
     def describe(self) -> str:
         """One-line human-readable summary for CLI stats output."""
         stats = self.stats
+        if self.degraded:
+            return (f"memory: DEGRADED ({self.degrade_reason}) "
+                    f"charged={stats.charged_bytes} peak={stats.peak_bytes}")
         return (f"memory: budget={self.budget} charged={stats.charged_bytes}"
                 f" peak={stats.peak_bytes}"
                 f" pressure={stats.pressure_events}"

@@ -1,5 +1,5 @@
-"""The shared spill backend: one directory, ``.npy`` files, one bandwidth
-model.
+"""The shared spill backend: one directory, checksummed spill files, one
+bandwidth model.
 
 Before the unified memory manager, the lineage cache and the buffer pool
 each created a private temp directory and the cache kept a private
@@ -7,6 +7,21 @@ exponential-moving-average bandwidth estimate.  Both now live here: every
 spill write and restore read updates one adaptive bandwidth figure, which
 the manager's evict-vs-spill decision consumes regardless of which region
 triggered the I/O.
+
+Spill file format (``LSP1``)::
+
+    +-------+----------+-------------+------------------------+
+    | magic | crc32    | payload_len | payload (npy bytes)    |
+    | 4 B   | 4 B (LE) | 8 B (LE)    | ``np.save`` serialized |
+    +-------+----------+-------------+------------------------+
+
+The CRC32 covers the payload.  :meth:`SpillBackend.read` verifies magic,
+length, and checksum before deserializing and raises
+:class:`~repro.errors.SpillCorruptionError` on any mismatch — a torn
+write, a truncated file, or bit rot is detected instead of silently
+producing a wrong array.  The spill file is unlinked only after the
+array deserializes successfully, so a failed restore leaves the bytes on
+disk for retries and post-mortems.
 
 Lifecycle: the directory is created lazily on the first write.  For
 directories the backend created itself, an ``atexit`` hook (holding only
@@ -18,13 +33,22 @@ per-component directories had.
 from __future__ import annotations
 
 import atexit
+import io
 import os
 import shutil
+import struct
 import tempfile
 import threading
 import time
+import zlib
 
 import numpy as np
+
+from repro.errors import SpillCorruptionError
+
+#: spill file header: magic, CRC32 of the payload, payload length
+_HEADER = struct.Struct("<4sIQ")
+_MAGIC = b"LSP1"
 
 
 def _cleanup_dir(path: str) -> None:
@@ -33,7 +57,7 @@ def _cleanup_dir(path: str) -> None:
 
 
 class SpillBackend:
-    """Spill-file storage with an adaptive I/O bandwidth estimate."""
+    """Spill-file storage with checksums and an adaptive bandwidth model."""
 
     def __init__(self, directory: str | None = None,
                  bandwidth: float = 512.0 * 1024 * 1024):
@@ -52,6 +76,16 @@ class SpillBackend:
         self.bytes_read = 0
         self.write_time = 0.0
         self.read_time = 0.0
+        #: fault-injection sites (None when unarmed — the common case)
+        self._write_site = None
+        self._read_site = None
+
+    def attach_injector(self, injector) -> None:
+        """Bind the spill fault sites from a :class:`FaultInjector`."""
+        if injector is None:
+            return
+        self._write_site = injector.site("spill.write")
+        self._read_site = injector.site("spill.read")
 
     # ------------------------------------------------------------------
     # I/O
@@ -75,12 +109,20 @@ class SpillBackend:
 
     def write(self, array: np.ndarray, tag: str = "o") -> str:
         """Spill an array; returns the file path. Updates the bandwidth."""
+        damage = None
+        if self._write_site is not None:
+            damage = self._write_site.fire(file_ok=True)
         with self._lock:
             directory = self._ensure_dir()
             self._counter += 1
             path = os.path.join(directory, f"{tag}{self._counter}.npy")
         start = time.perf_counter()
-        np.save(path, array)
+        buffer = io.BytesIO()
+        np.save(buffer, array)
+        payload = buffer.getvalue()
+        with open(path, "wb") as fh:
+            fh.write(_HEADER.pack(_MAGIC, zlib.crc32(payload), len(payload)))
+            fh.write(payload)
         elapsed = time.perf_counter() - start
         size = int(array.nbytes)
         with self._lock:
@@ -88,12 +130,42 @@ class SpillBackend:
             self.bytes_written += size
             self.write_time += elapsed
             self._observe(size, elapsed)
+        if damage is not None:
+            self._write_site.damage_file(path, damage)
         return path
 
     def read(self, path: str, unlink: bool = True) -> np.ndarray:
-        """Restore a spilled array (removing the file by default)."""
+        """Restore and verify a spilled array.
+
+        Raises :class:`SpillCorruptionError` when the file fails
+        verification.  The file is unlinked (when requested) only after
+        the array deserializes successfully — a failed restore leaves the
+        spill file in place for retries.
+        """
+        if self._read_site is not None:
+            damage = self._read_site.fire(file_ok=True)
+            if damage is not None:
+                self._read_site.damage_file(path, damage)
         start = time.perf_counter()
-        data = np.load(path)
+        with open(path, "rb") as fh:
+            header = fh.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                raise SpillCorruptionError(
+                    f"spill file {path!r}: truncated header "
+                    f"({len(header)} of {_HEADER.size} bytes)")
+            magic, crc, length = _HEADER.unpack(header)
+            if magic != _MAGIC:
+                raise SpillCorruptionError(
+                    f"spill file {path!r}: bad magic {magic!r}")
+            payload = fh.read(length)
+        if len(payload) < length:
+            raise SpillCorruptionError(
+                f"spill file {path!r}: truncated payload "
+                f"({len(payload)} of {length} bytes)")
+        if zlib.crc32(payload) != crc:
+            raise SpillCorruptionError(
+                f"spill file {path!r}: CRC32 mismatch")
+        data = np.load(io.BytesIO(payload), allow_pickle=False)
         elapsed = time.perf_counter() - start
         with self._lock:
             self.reads += 1

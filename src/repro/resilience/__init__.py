@@ -1,0 +1,35 @@
+"""Resilience: fault injection and lineage-based recovery.
+
+LIMA's lineage traces are complete, replayable records of how every live
+and cached value was produced — which makes them a natural *recovery
+log*, not just a reuse key.  This package has two halves:
+
+* :mod:`repro.resilience.faults` — a registry of named fault points
+  instrumented at the spill read/write paths, cache admission/probe,
+  instruction execution, parfor worker bodies, and cache persistence.
+  Faults (I/O errors, bit-flip corruption, truncation, ``MemoryError``,
+  latency, worker crashes) fire from deterministic per-point seeds, so
+  every recovery path is testable and CI-reproducible.
+* :mod:`repro.resilience.recovery` — the policies that consume lineage
+  as the recovery log: checksummed spill files, bounded-exponential-
+  backoff retries for transient I/O errors, transparent recomputation of
+  corrupted cached values from their lineage traces, parfor iteration
+  retries on fresh worker contexts with a sequential fallback, and
+  graceful degradation (caching flips to pass-through) when memory
+  pressure itself becomes unrecoverable.
+
+See ``docs/internals.md`` ("Resilience & fault injection") for the fault
+point names, the recovery policy order, and degradation semantics.
+"""
+
+from repro.resilience.faults import (FAULT_KINDS, FAULT_POINTS, FaultSite,
+                                     FaultSpec, FaultInjector,
+                                     parse_fault_spec)
+from repro.resilience.recovery import ResilienceManager
+from repro.resilience.stats import ResilienceStats
+
+__all__ = [
+    "FAULT_KINDS", "FAULT_POINTS", "FaultSite", "FaultSpec",
+    "FaultInjector", "parse_fault_spec", "ResilienceManager",
+    "ResilienceStats",
+]

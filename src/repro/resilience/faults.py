@@ -1,0 +1,232 @@
+"""Deterministic fault injection at named points of the runtime.
+
+A *fault point* is a named location instrumented in the codebase; a
+*fault spec* arms one point with a fault kind, a firing rate, and a seed::
+
+    spill.read:corrupt:rate=0.2,seed=7
+    parfor.iteration:crash:rate=0.5,times=3
+
+Specs come from ``LimaConfig.fault_specs`` (and the CLI's
+``--inject-fault``), or from the ``LIMA_INJECT_FAULT`` environment
+variable (``;``-separated; config specs override env specs for the same
+point), which lets CI run an unmodified test subset under chaos.
+
+Each armed point draws from its own ``random.Random(seed)``, so the fire
+pattern is a pure function of the spec — independent of wall clock,
+process layout, or which other points are armed.  Uninstrumented points
+cost one ``is None`` check (most are bound once at handler-compile or
+construction time), keeping the hot path unmeasurably close to the
+fault-free build.
+
+Fault kinds and their behavior at a point:
+
+==============  ==========================================================
+``io``          raise ``OSError`` (transient class — retried by recovery)
+``corrupt``     flip one deterministic byte of the target file on disk
+``truncate``    truncate the target file to half its length
+``oom``         raise ``MemoryError``
+``latency``     sleep ~1ms (exercises timing paths without failing)
+``crash``       raise :class:`~repro.errors.WorkerCrashError`
+==============  ==========================================================
+
+``corrupt``/``truncate`` only make sense where a file is about to be
+read or written; at a pure call site they degrade to ``io``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import LimaError, WorkerCrashError
+
+FAULT_KINDS = ("io", "corrupt", "truncate", "oom", "latency", "crash")
+
+#: the instrumented fault points (see docs/internals.md for locations)
+FAULT_POINTS = (
+    "spill.write",       # memory/spill.py: spilling an array to disk
+    "spill.read",        # memory/spill.py: restoring a spilled array
+    "cache.probe",       # reuse/cache.py: lineage cache lookup
+    "cache.admit",       # reuse/cache.py: admitting a computed value
+    "exec.instruction",  # runtime/interpreter.py: instruction execution
+    "parfor.iteration",  # runtime/parfor.py: one parfor worker iteration
+    "persist.save",      # reuse/persist.py: writing a cache archive
+    "persist.load",      # reuse/persist.py: warm-starting from an archive
+)
+
+#: seconds slept by the ``latency`` kind (small, deterministic)
+LATENCY_SECONDS = 0.001
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault point: what fires, how often, from which seed."""
+
+    point: str
+    kind: str
+    #: probability of firing per trial (1.0 = every trial)
+    rate: float = 1.0
+    #: seed of the point's private ``random.Random``
+    seed: int = 0
+    #: maximum number of fires (``None`` = unbounded)
+    times: int | None = None
+
+    def __post_init__(self):
+        if self.point not in FAULT_POINTS:
+            raise ValueError(
+                f"unknown fault point {self.point!r}; "
+                f"expected one of {', '.join(FAULT_POINTS)}")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {', '.join(FAULT_KINDS)}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse ``point:kind[:rate=R,seed=S,times=N]`` into a spec."""
+    parts = text.strip().split(":")
+    if len(parts) < 2 or len(parts) > 3:
+        raise ValueError(
+            f"invalid fault spec {text!r}: expected "
+            "point:kind[:rate=R,seed=S,times=N]")
+    options: dict[str, float] = {}
+    if len(parts) == 3:
+        for option in parts[2].split(","):
+            name, sep, value = option.partition("=")
+            if not sep or name not in ("rate", "seed", "times"):
+                raise ValueError(
+                    f"invalid fault option {option!r} in {text!r}: "
+                    "expected rate=R, seed=S, or times=N")
+            try:
+                options[name] = float(value)
+            except ValueError:
+                raise ValueError(
+                    f"invalid fault option value {value!r} in {text!r}"
+                ) from None
+    return FaultSpec(parts[0], parts[1],
+                     rate=options.get("rate", 1.0),
+                     seed=int(options.get("seed", 0)),
+                     times=(int(options["times"]) if "times" in options
+                            else None))
+
+
+class FaultSite:
+    """One armed fault point: deterministic trials, kind execution."""
+
+    __slots__ = ("spec", "stats", "trials", "fires", "_rng", "_lock")
+
+    def __init__(self, spec: FaultSpec, stats=None):
+        self.spec = spec
+        #: optional ResilienceStats counting injected faults
+        self.stats = stats
+        self.trials = 0
+        self.fires = 0
+        self._rng = random.Random(spec.seed)
+        self._lock = threading.Lock()
+
+    def should_fire(self) -> bool:
+        """One deterministic trial; True when the fault fires."""
+        spec = self.spec
+        with self._lock:
+            self.trials += 1
+            if spec.times is not None and self.fires >= spec.times:
+                return False
+            if spec.rate < 1.0 and self._rng.random() >= spec.rate:
+                return False
+            self.fires += 1
+            if self.stats is not None:
+                self.stats.faults_injected += 1
+            return True
+
+    def fire(self, file_ok: bool = False) -> str | None:
+        """One trial; executes the armed kind when it fires.
+
+        Exception kinds raise; ``latency`` sleeps; the file kinds
+        (``corrupt``/``truncate``) are returned to the caller — which
+        must :meth:`damage_file` the target — when ``file_ok``, and
+        degrade to ``io`` at pure call sites otherwise.  Returns ``None``
+        when the fault does not fire.
+        """
+        if not self.should_fire():
+            return None
+        kind = self.spec.kind
+        point = self.spec.point
+        if kind in ("corrupt", "truncate"):
+            if file_ok:
+                return kind
+            kind = "io"
+        if kind == "io":
+            raise OSError(f"injected I/O fault at {point}")
+        if kind == "oom":
+            raise MemoryError(f"injected allocation fault at {point}")
+        if kind == "crash":
+            raise WorkerCrashError(f"injected worker crash at {point}")
+        if kind == "latency":
+            time.sleep(LATENCY_SECONDS)
+        return None
+
+    def damage_file(self, path: str, kind: str) -> None:
+        """Apply a fired file fault to ``path`` (corrupt or truncate)."""
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            return  # nothing on disk to damage
+        if kind == "truncate":
+            os.truncate(path, size // 2)
+            return
+        # flip one bit at a deterministic offset past the magic bytes,
+        # so verification fails on content, not trivially on the header
+        with self._lock:
+            offset = self._rng.randrange(min(8, size), size) \
+                if size > 8 else max(size - 1, 0)
+        with open(path, "r+b") as fh:
+            fh.seek(offset)
+            byte = fh.read(1)
+            fh.seek(offset)
+            fh.write(bytes([byte[0] ^ 0x40]) if byte else b"\x40")
+
+
+class FaultInjector:
+    """Registry of armed fault sites, one per point (last spec wins)."""
+
+    def __init__(self, specs, stats=None):
+        self._sites: dict[str, FaultSite] = {}
+        for spec in specs:
+            if isinstance(spec, str):
+                spec = parse_fault_spec(spec)
+            self._sites[spec.point] = FaultSite(spec, stats=stats)
+
+    def site(self, point: str) -> FaultSite | None:
+        """The armed site for ``point``, or ``None`` (the common case)."""
+        return self._sites.get(point)
+
+    def sites(self) -> list[FaultSite]:
+        return list(self._sites.values())
+
+    def total_fires(self) -> int:
+        return sum(site.fires for site in self._sites.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._sites)
+
+
+def env_fault_specs(environ=None) -> list[FaultSpec]:
+    """Specs armed through ``LIMA_INJECT_FAULT`` (``;``-separated)."""
+    raw = (environ if environ is not None else os.environ).get(
+        "LIMA_INJECT_FAULT", "")
+    specs = []
+    for text in raw.split(";"):
+        text = text.strip()
+        if not text:
+            continue
+        try:
+            specs.append(parse_fault_spec(text))
+        except ValueError as exc:
+            raise LimaError(
+                f"invalid LIMA_INJECT_FAULT entry {text!r}: {exc}") from exc
+    return specs

@@ -1,0 +1,69 @@
+"""Counters of recovery and degradation events.
+
+One :class:`ResilienceStats` instance lives on each
+:class:`~repro.resilience.recovery.ResilienceManager` and is surfaced by
+``repro run --stats`` and appended to the ``--profile`` report.  The
+headline figure is :attr:`ResilienceStats.recoveries` — the number of
+values that would have been lost without the resilience layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ResilienceStats:
+    """Recovery/degradation counters (updated under the owning locks)."""
+
+    #: faults fired by the injection framework (0 in production)
+    faults_injected: int = 0
+    #: spill reads that failed CRC32/format verification
+    checksum_failures: int = 0
+    #: transient spill-read failures retried with backoff
+    spill_read_retries: int = 0
+    #: spill reads that succeeded after at least one retry
+    spill_reads_recovered: int = 0
+    #: cached values rebuilt from their lineage trace after a lost spill
+    recomputes: int = 0
+    #: lineage recomputations that themselves failed
+    recompute_failures: int = 0
+    #: cache entries dropped as unrecoverable (degrade to a plain miss)
+    entries_lost: int = 0
+    #: parfor iterations re-run on fresh worker contexts
+    parfor_retries: int = 0
+    #: parfor iterations recovered by a retry or the sequential fallback
+    parfor_recovered: int = 0
+    #: parfor loops that fell back to sequential re-execution
+    parfor_sequential_fallbacks: int = 0
+    #: parfor iterations still failing after every recovery tier
+    parfor_failed_iterations: int = 0
+    #: times the memory manager flipped to degraded (pass-through) mode
+    degraded_events: int = 0
+
+    @property
+    def recoveries(self) -> int:
+        """Total values saved by the resilience layer."""
+        return (self.spill_reads_recovered + self.recomputes
+                + self.parfor_recovered)
+
+    def snapshot(self) -> dict[str, int]:
+        data = {k: getattr(self, k) for k in self.__dataclass_fields__}
+        data["recoveries"] = self.recoveries
+        return data
+
+    def reset(self) -> None:
+        for name, f in self.__dataclass_fields__.items():
+            setattr(self, name, f.default)
+
+    def __str__(self) -> str:
+        return (f"ResilienceStats(recoveries={self.recoveries}, "
+                f"faults_injected={self.faults_injected}, "
+                f"checksum_failures={self.checksum_failures}, "
+                f"spill_retries={self.spill_read_retries}, "
+                f"recomputes={self.recomputes}/"
+                f"{self.recomputes + self.recompute_failures}, "
+                f"entries_lost={self.entries_lost}, "
+                f"parfor_retries={self.parfor_retries}, "
+                f"parfor_fallbacks={self.parfor_sequential_fallbacks}, "
+                f"degraded={self.degraded_events})")

@@ -32,7 +32,7 @@ import threading
 
 from repro.config import LimaConfig
 from repro.data.values import MatrixValue, Value
-from repro.errors import ReuseError
+from repro.errors import ReuseError, SpillError, WorkerCrashError
 from repro.lineage.item import LineageItem
 from repro.memory.manager import MemoryManager, MemoryRegion
 from repro.reuse.stats import CacheStats
@@ -109,6 +109,10 @@ class LineageCache(MemoryRegion):
         # (triggered from either side) runs under one reentrant lock
         self._lock = self.memory.lock
         self._map: dict[LineageItem, LineageCacheEntry] = {}
+        # fault sites resolved once (None when unarmed — the common case)
+        resilience = self.memory.resilience
+        self._probe_site = resilience.site("cache.probe")
+        self._admit_site = resilience.site("cache.admit")
         self.memory.register_region(self)
 
     def _touch(self, entry: LineageCacheEntry) -> None:
@@ -123,9 +127,24 @@ class LineageCache(MemoryRegion):
     def probe(self, item: LineageItem, count: bool = True) \
             -> CachedOutput | None:
         """Non-blocking lookup; placeholders count as misses."""
+        if self._probe_site is not None:
+            try:
+                self._probe_site.fire()
+            except (OSError, MemoryError, WorkerCrashError):
+                # a failed lookup degrades to a miss: the caller simply
+                # recomputes, which is always correct
+                with self._lock:
+                    if count:
+                        self.stats.probes += 1
+                        self.stats.record_miss(item.opcode)
+                return None
         with self._lock:
             if count:
                 self.stats.probes += 1
+            if self.memory.degraded:
+                if count:
+                    self.stats.record_miss(item.opcode)
+                return None
             entry = self._map.get(item)
             if entry is None:
                 if count:
@@ -139,6 +158,12 @@ class LineageCache(MemoryRegion):
                 return entry.output
             if entry.status == "spilled":
                 output = self._restore(entry)
+                if output is None:
+                    # unrecoverable spill: degraded to a plain miss
+                    entry.ref_misses += 1
+                    if count:
+                        self.stats.record_miss(item.opcode)
+                    return None
                 entry.ref_hits += 1
                 if count:
                     self.stats.record_hit(item.opcode, entry.compute_time)
@@ -157,8 +182,21 @@ class LineageCache(MemoryRegion):
         after installing a placeholder that the caller must later
         :meth:`fulfill` or :meth:`abort`.
         """
+        if self._probe_site is not None:
+            try:
+                self._probe_site.fire()
+            except (OSError, MemoryError, WorkerCrashError):
+                # failed lookup = miss; pass-through reservation so the
+                # caller recomputes without touching the map
+                with self._lock:
+                    self.stats.probes += 1
+                    self.stats.record_miss(item.opcode)
+                return "reserved", None
         with self._lock:
             self.stats.probes += 1
+            if self.memory.degraded:
+                self.stats.record_miss(item.opcode)
+                return "reserved", None  # pass-through: nothing admitted
             entry = self._map.get(item)
             if entry is not None:
                 self._touch(entry)
@@ -168,9 +206,18 @@ class LineageCache(MemoryRegion):
                     return "hit", entry.output
                 if entry.status == "spilled":
                     output = self._restore(entry)
-                    entry.ref_hits += 1
-                    self.stats.record_hit(item.opcode, entry.compute_time)
-                    return "hit", output
+                    if output is not None:
+                        entry.ref_hits += 1
+                        self.stats.record_hit(item.opcode,
+                                              entry.compute_time)
+                        return "hit", output
+                    # unrecoverable spill: reuse the entry as a fresh
+                    # reservation, exactly like the evicted branch
+                    entry.ref_misses += 1
+                    self.stats.record_miss(item.opcode)
+                    entry.status = "placeholder"
+                    entry.reset_event()
+                    return "reserved", None
                 if entry.status == "placeholder":
                     return "wait", entry
                 # evicted: treat as reservation by reusing the entry
@@ -211,6 +258,8 @@ class LineageCache(MemoryRegion):
                 return entry.output
             if entry.status == "spilled":
                 output = self._restore(entry)
+                if output is None:
+                    return None  # waiter recomputes, like an abort
                 self.stats.record_hit(entry.key.opcode, 0.0)
                 entry.ref_hits += 1
                 return output
@@ -223,10 +272,26 @@ class LineageCache(MemoryRegion):
     def fulfill(self, item: LineageItem, value: Value,
                 lineage: LineageItem | None, compute_time: float) -> None:
         """Fill a reservation (or insert directly) with a computed value."""
+        if self._admit_site is not None:
+            try:
+                self._admit_site.fire()
+            except MemoryError as exc:
+                # allocation failed while admitting under pressure: flip
+                # to pass-through mode and carry on without the cache
+                self.memory.degrade(f"cache admission failed: {exc}")
+                with self._lock:
+                    self.stats.rejected += 1
+                    self._drop_placeholder(item)
+                return
+            except (OSError, WorkerCrashError):
+                with self._lock:
+                    self.stats.rejected += 1
+                    self._drop_placeholder(item)
+                return
         size = value.nbytes()
         with self._lock:
             budget = self.memory.budget
-            if budget <= 0 or size > budget:
+            if self.memory.degraded or budget <= 0 or size > budget:
                 self.stats.rejected += 1
                 self._drop_placeholder(item)
                 return
@@ -306,15 +371,63 @@ class LineageCache(MemoryRegion):
         self.stats.evictions_spilled += 1
         self.memory.stats.cache_spills += 1
 
-    def _restore(self, entry: LineageCacheEntry) -> CachedOutput:
+    def shed(self) -> None:
+        """Drop every recomputable entry (graceful-degradation hook).
+
+        Called by the manager under its lock when it degrades: cached and
+        spilled entries can all be rebuilt from their lineage, so they are
+        released (and their spill files removed) to relieve pressure.
+        Live variables are not this region's to shed.
+        """
         backend = self.memory.backend
+        for entry in self._map.values():
+            if entry.status == "cached":
+                self.memory.release(entry.output.value, id(entry))
+                entry.output = None
+                entry.status = "evicted"
+            elif entry.status == "spilled":
+                backend.remove(entry.spill_path)
+                entry.spill_path = None
+                entry.output = None
+                entry.status = "evicted"
+
+    def _restore(self, entry: LineageCacheEntry) -> CachedOutput | None:
+        """Restore a spilled entry, recovering through lineage on failure.
+
+        The policy ladder: (1) read+verify the spill file, retrying
+        transient I/O errors with bounded backoff; (2) on corruption or
+        exhausted retries, recompute the value from its lineage trace
+        (the entry's output lineage, then the cache key itself); (3) when
+        even the lineage cannot be replayed, drop the entry to
+        ``evicted`` and report a plain miss — the caller's normal
+        recompute path takes over.  Returns ``None`` only in case (3).
+        """
+        backend = self.memory.backend
+        resilience = self.memory.resilience
+        path = entry.spill_path
         before = backend.read_time
-        data = backend.read(entry.spill_path)
+        try:
+            data = resilience.read_spill(backend, path)
+            value = MatrixValue(data)
+        except (OSError, SpillError, MemoryError):
+            recovered = resilience.recompute_any(
+                entry.output.lineage if entry.output is not None else None,
+                entry.key)
+            backend.remove(path)  # whatever is left on disk is useless
+            if recovered is None:
+                entry.spill_path = None
+                entry.output = None
+                entry.status = "evicted"
+                resilience.stats.entries_lost += 1
+                return None
+            value = recovered if isinstance(recovered, MatrixValue) \
+                else MatrixValue(recovered.data if isinstance(recovered, Value)
+                                 else recovered)
         self.stats.restore_time += backend.read_time - before
         self.stats.restores += 1
         self.memory.stats.cache_restores += 1
-        value = MatrixValue(data)
-        output = CachedOutput(value, entry.output.lineage)
+        output = CachedOutput(
+            value, entry.output.lineage if entry.output is not None else None)
         entry.output = output
         entry.status = "cached"
         entry.spill_path = None

@@ -20,12 +20,13 @@ from __future__ import annotations
 
 import io
 import json
+import warnings
 import zipfile
 
 import numpy as np
 
 from repro.data.values import MatrixValue, ScalarValue
-from repro.errors import ReuseError
+from repro.errors import ResilienceWarning, WorkerCrashError
 from repro.lineage.serialize import deserialize, serialize
 from repro.reuse.cache import LineageCache
 
@@ -52,6 +53,8 @@ def save_cache(cache: LineageCache, path: str,
     skipped (cheap results are not worth the I/O — the same cost model as
     spilling).  Returns the number of entries written.
     """
+    site = cache.memory.resilience.site("persist.save")
+    damage = site.fire(file_ok=True) if site is not None else None
     records = []
     with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as archive:
         for index, entry in enumerate(cache.entries()):
@@ -80,35 +83,74 @@ def save_cache(cache: LineageCache, path: str,
             records.append(record)
         manifest = {"version": _FORMAT_VERSION, "entries": records}
         archive.writestr(_MANIFEST, json.dumps(manifest))
+    if damage is not None:
+        site.damage_file(path, damage)
     return len(records)
+
+
+def _cold_start(path: str, reason: str) -> int:
+    warnings.warn(
+        f"cannot warm-start from cache archive {path!r}: {reason}; "
+        "starting with a cold cache", ResilienceWarning, stacklevel=3)
+    return 0
 
 
 def load_cache(cache: LineageCache, path: str) -> int:
     """Warm-start ``cache`` from an archive written by :func:`save_cache`.
 
     Returns the number of entries admitted (the cache's budget and
-    eviction policy still apply).
+    eviction policy still apply).  A warm start is an optimization, so
+    this never raises on archive problems: a truncated or corrupted
+    archive falls back to a cold start, and individually corrupted
+    entries are skipped — both with a :class:`ResilienceWarning`.
     """
-    admitted = 0
-    with zipfile.ZipFile(path, "r") as archive:
+    site = cache.memory.resilience.site("persist.load")
+    if site is not None:
         try:
-            manifest = json.loads(archive.read(_MANIFEST))
-        except KeyError as exc:
-            raise ReuseError(f"{path!r} is not a lineage cache archive") \
-                from exc
-        if manifest.get("version") != _FORMAT_VERSION:
-            raise ReuseError(
-                f"unsupported cache archive version "
-                f"{manifest.get('version')!r}")
-        for record in manifest["entries"]:
-            key = deserialize(record["key"])
-            if record["kind"] == "matrix":
-                data = np.load(io.BytesIO(archive.read(record["array"])))
-                value = MatrixValue(data)
-            else:
-                value = ScalarValue(record["value"])
-            lineage = (deserialize(record["lineage"])
-                       if "lineage" in record else key)
-            cache.put(key, value, lineage, record["compute_time"])
-            admitted += 1
+            damage = site.fire(file_ok=True)
+        except (OSError, MemoryError, WorkerCrashError) as exc:
+            return _cold_start(path, f"injected fault ({exc})")
+        if damage is not None:
+            site.damage_file(path, damage)
+    admitted = 0
+    skipped = 0
+    try:
+        with zipfile.ZipFile(path, "r") as archive:
+            try:
+                manifest = json.loads(archive.read(_MANIFEST))
+            except (KeyError, ValueError) as exc:
+                return _cold_start(
+                    path, f"not a lineage cache archive ({exc})")
+            if manifest.get("version") != _FORMAT_VERSION:
+                return _cold_start(
+                    path, "unsupported archive version "
+                    f"{manifest.get('version')!r}")
+            for record in manifest.get("entries", ()):
+                # one bad record (torn array bytes, malformed lineage)
+                # must not poison the rest of the archive
+                try:
+                    key = deserialize(record["key"])
+                    if record["kind"] == "matrix":
+                        data = np.load(
+                            io.BytesIO(archive.read(record["array"])),
+                            allow_pickle=False)
+                        value = MatrixValue(data)
+                    else:
+                        value = ScalarValue(record["value"])
+                    lineage = (deserialize(record["lineage"])
+                               if "lineage" in record else key)
+                    cache.put(key, value, lineage, record["compute_time"])
+                    admitted += 1
+                except Exception:
+                    skipped += 1
+    except (OSError, zipfile.BadZipFile) as exc:
+        if admitted == 0:
+            return _cold_start(path, str(exc))
+        skipped += 1
+    if skipped:
+        warnings.warn(
+            f"skipped {skipped} corrupted entr"
+            f"{'y' if skipped == 1 else 'ies'} while warm-starting from "
+            f"cache archive {path!r} ({admitted} loaded)",
+            ResilienceWarning, stacklevel=2)
     return admitted

@@ -24,6 +24,7 @@ from __future__ import annotations
 import weakref
 
 from repro.data.values import MatrixValue, Value
+from repro.errors import LimaRuntimeError, SpillError
 from repro.memory.manager import MemoryManager, MemoryRegion
 
 #: matrices smaller than this never participate (spilling them costs more
@@ -207,9 +208,22 @@ class BufferPool(MemoryRegion):
         rebound to the restored value, and admission pressure is applied,
         so a restore can evict/spill other objects instead of pushing the
         manager over budget (the old pool restored unconditionally).
+
+        Restores go through the resilience manager's retry policy, but a
+        live variable has no lineage to recompute from: a spill file that
+        stays unreadable after the retries is genuinely lost, which is
+        the one unrecoverable failure in the system.
         """
         with self._lock:
-            data = self.memory.backend.read(handle.path)
+            try:
+                data = self.memory.resilience.read_spill(
+                    self.memory.backend, handle.path)
+            except (OSError, SpillError) as exc:
+                error = LimaRuntimeError(
+                    f"live variable lost: spill file {handle.path!r} is "
+                    f"unreadable ({exc}) and live values have no lineage "
+                    "to recompute from")
+                raise error from exc
             value = MatrixValue(data)
             key = id(value)
             record = _LiveRecord(

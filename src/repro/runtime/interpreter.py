@@ -75,7 +75,7 @@ class Interpreter:
                  cache: LineageCache | None = None,
                  output: list[str] | None = None,
                  base_seed: int = 42,
-                 pool=None, memory=None):
+                 pool=None, memory=None, resilience=None):
         config.validate()
         self.program = program
         self.config = config
@@ -108,6 +108,17 @@ class Interpreter:
         else:
             self.buffer_pool = None
         self.memory = memory
+        # one resilience manager (fault injector + recovery policies +
+        # stats) spans the interpreter and the memory subsystem
+        if resilience is None:
+            if memory is not None:
+                resilience = memory.resilience
+            else:
+                from repro.resilience.recovery import ResilienceManager
+                resilience = ResilienceManager(config)
+        self.resilience = resilience
+        #: armed exec.instruction fault site (None = zero-cost hot path)
+        self._exec_site = resilience.site("exec.instruction")
         import threading
         self._compile_lock = threading.Lock()
         # dedup trackers persist per loop block, so re-entering a loop
@@ -269,6 +280,23 @@ class Interpreter:
 
     def _compile_handler(self, inst):
         """Bind one instruction to a specialized execution closure.
+
+        The ``exec.instruction`` fault site is resolved here, at compile
+        time: unarmed interpreters (the only kind outside chaos testing)
+        get the bare handler with no per-execution check at all.
+        """
+        handler = self._build_handler(inst)
+        site = self._exec_site
+        if site is None:
+            return handler
+
+        def run_with_fault(ctx):
+            site.fire()
+            handler(ctx)
+        return run_with_fault
+
+    def _build_handler(self, inst):
+        """Specialize one instruction's execution closure.
 
         Static facts — the instruction's class, whether lineage tracing is
         configured at all, whether full reuse can ever apply to this
@@ -450,11 +478,18 @@ class Interpreter:
 
     @staticmethod
     def _raise_located(inst, exc) -> None:
-        """Re-raise an execution failure with script source context."""
+        """Re-raise an execution failure with script source context.
+
+        Subclasses of :class:`LimaRuntimeError` (worker crashes in
+        particular) are preserved, so callers that dispatch on the error
+        type — the parfor retry ladder — still see what happened.
+        """
+        cls = LimaRuntimeError
         if isinstance(exc, LimaRuntimeError):
             if getattr(exc, "located", False) or not inst.line:
                 raise exc
-        error = LimaRuntimeError(f"line {inst.line} ({inst.opcode}): {exc}")
+            cls = type(exc)
+        error = cls(f"line {inst.line} ({inst.opcode}): {exc}")
         error.located = True
         raise error from exc
 
@@ -466,6 +501,8 @@ class Interpreter:
         semantically identical.
         """
         try:
+            if self._exec_site is not None:
+                self._exec_site.fire()
             self._execute_instruction(ctx, inst)
         except (LimaRuntimeError, ValueError, FloatingPointError,
                 ZeroDivisionError) as exc:

@@ -16,6 +16,18 @@ Result merge (in iteration order, so semantics match the sequential loop):
   copy — the common ``B[, i] = ...`` accumulation pattern,
 * any other variable assigned in the body takes the last iteration's value
   (and its worker-traced lineage root), linearizing the lineage graph.
+
+Fault tolerance: each iteration's outcome (a completed worker context or
+the exception that killed it) is collected individually, so one crashing
+worker never abandons its siblings.  Failed iterations are retried on
+*fresh* worker contexts — ``worker_copy(k)`` spawns seeds as a pure
+function of the iteration index, so a retry replays the iteration
+bit-identically — up to ``parfor_retries`` rounds, then once more
+sequentially in the calling thread.  Iterations still failing after
+every tier raise a structured :class:`~repro.errors.ParforError` naming
+exactly which iterations were lost and why.  Worker print output is
+buffered per iteration and flushed in iteration order only after the
+loop completes, so retries never duplicate output.
 """
 
 from __future__ import annotations
@@ -24,7 +36,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING
 
 from repro.data.values import MatrixValue, ScalarValue
-from repro.errors import LimaRuntimeError
+from repro.errors import LimaRuntimeError, ParforError
 from repro.lineage.item import LineageItem
 from repro.runtime import kernels as K
 from repro.runtime.context import ExecutionContext
@@ -38,29 +50,86 @@ def execute_parfor(interpreter: "Interpreter", ctx: ExecutionContext,
                    block: "ForBlock", values: list[float]) -> None:
     workers = (interpreter.config.parfor_workers
                or min(len(values), _default_workers()))
+    resilience = getattr(interpreter, "resilience", None)
+    site = (resilience.site("parfor.iteration")
+            if resilience is not None else None)
+    stats = resilience.stats if resilience is not None else None
+    retries = resilience.parfor_retries if resilience is not None else 0
+    n = len(values)
 
-    # worker contexts are created up front, in iteration order, so seed
-    # spawning is deterministic
-    contexts: list[ExecutionContext] = []
-    for k, value in enumerate(values):
+    def fresh_context(k: int) -> ExecutionContext:
+        # worker_copy(k) spawns seeds as a pure function of k, so a
+        # context built for a retry replays the iteration bit-identically
         wctx = ctx.worker_copy(k)
+        wctx.output = []  # buffered; flushed in iteration order at the end
+        value = values[k]
         scalar = int(value) if float(value).is_integer() else float(value)
         wctx.symbols.set(block.var, ScalarValue(scalar))
         if wctx.lineage_active:
             wctx.lineage.set(block.var, wctx.lineage.literal(scalar))
-        contexts.append(wctx)
-
-    def run(wctx: ExecutionContext) -> ExecutionContext:
-        interpreter.execute_blocks(wctx, block.body)
         return wctx
 
-    if workers <= 1:
-        for wctx in contexts:
-            run(wctx)
-    else:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            list(pool.map(run, contexts))
+    def attempt(k: int) -> ExecutionContext | Exception:
+        """Run one iteration; its outcome is the context or the error."""
+        wctx = fresh_context(k)
+        try:
+            if site is not None:
+                site.fire()
+            interpreter.execute_blocks(wctx, block.body)
+            return wctx
+        except Exception as exc:
+            return exc
 
+    def sweep(indices: list[int]) -> list:
+        if workers <= 1 or len(indices) <= 1:
+            return [attempt(k) for k in indices]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(attempt, indices))
+
+    outcomes: list = sweep(list(range(n)))
+    failed = [k for k in range(n)
+              if not isinstance(outcomes[k], ExecutionContext)]
+
+    # retry rounds on fresh worker contexts
+    for _ in range(retries):
+        if not failed:
+            break
+        if stats is not None:
+            stats.parfor_retries += len(failed)
+        for k, outcome in zip(failed, sweep(failed)):
+            outcomes[k] = outcome
+            if isinstance(outcome, ExecutionContext) and stats is not None:
+                stats.parfor_recovered += 1
+        failed = [k for k in failed
+                  if not isinstance(outcomes[k], ExecutionContext)]
+
+    # last tier: sequential re-execution in the calling thread
+    if failed:
+        if stats is not None:
+            stats.parfor_sequential_fallbacks += 1
+        for k in list(failed):
+            outcome = attempt(k)
+            outcomes[k] = outcome
+            if isinstance(outcome, ExecutionContext) and stats is not None:
+                stats.parfor_recovered += 1
+        failed = [k for k in failed
+                  if not isinstance(outcomes[k], ExecutionContext)]
+
+    if failed:
+        if stats is not None:
+            stats.parfor_failed_iterations += len(failed)
+        causes = [outcomes[k] for k in failed]
+        detail = "; ".join(
+            f"iteration {k}: {type(c).__name__}: {c}"
+            for k, c in zip(failed, causes))
+        raise ParforError(
+            f"{len(failed)} of {n} parfor iteration(s) failed after "
+            f"{retries} retry round(s) and a sequential fallback "
+            f"({detail})", iterations=failed, causes=causes)
+
+    contexts: list[ExecutionContext] = outcomes
+    for wctx in contexts:
+        ctx.output.extend(wctx.output)
     _merge_results(ctx, block, contexts)
 
 

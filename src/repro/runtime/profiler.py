@@ -25,7 +25,7 @@ class OpProfiler:
     """Per-opcode count / total-time / cache-hit counters."""
 
     __slots__ = ("enabled", "op_count", "op_time", "cache_hits",
-                 "cache_misses", "memory_stats")
+                 "cache_misses", "memory_stats", "resilience_stats")
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
@@ -36,6 +36,9 @@ class OpProfiler:
         #: optional :class:`~repro.reuse.stats.MemoryStats` of the unified
         #: memory manager, appended to :meth:`report` when attached
         self.memory_stats = None
+        #: optional :class:`~repro.resilience.stats.ResilienceStats`,
+        #: appended to :meth:`report` when attached
+        self.resilience_stats = None
 
     def reset(self) -> None:
         self.op_count.clear()
@@ -101,6 +104,8 @@ class OpProfiler:
                      f"{self.total_time():>10.4f}")
         if self.memory_stats is not None:
             lines.append(str(self.memory_stats))
+        if self.resilience_stats is not None:
+            lines.append(str(self.resilience_stats))
         return "\n".join(lines)
 
     def __repr__(self) -> str:

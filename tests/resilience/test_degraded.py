@@ -1,0 +1,80 @@
+"""Graceful degradation: when memory pressure itself becomes
+unrecoverable, caching flips to pass-through, live variables stay in
+memory, and execution continues correctly with a warning."""
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+from repro.errors import ResilienceWarning
+
+SCRIPT = "G = t(X) %*% X; H = G + 1; out = sum(H);"
+
+
+class TestAdmissionFailure:
+    def test_oom_during_admission_degrades_and_completes(self, small_x):
+        clean = LimaSession(LimaConfig.full()).run(SCRIPT,
+                                                   inputs={"X": small_x})
+        config = LimaConfig.full().with_(
+            fault_specs=("cache.admit:oom:rate=1,times=1",))
+        session = LimaSession(config)
+        with pytest.warns(ResilienceWarning, match="pass-through"):
+            result = session.run(SCRIPT, inputs={"X": small_x})
+        np.testing.assert_array_equal(result.get("out"), clean.get("out"))
+        assert session.memory.degraded
+        assert session.resilience.stats.degraded_events == 1
+        # the cache shed its entries and admits nothing in degraded mode
+        assert len(session.cache) == 0
+        assert "DEGRADED" in session.memory.describe()
+
+    def test_degraded_mode_is_pass_through_but_correct(self, small_x):
+        config = LimaConfig.full().with_(
+            fault_specs=("cache.admit:oom:rate=1,times=1",))
+        session = LimaSession(config)
+        with pytest.warns(ResilienceWarning):
+            first = session.run(SCRIPT, inputs={"X": small_x})
+        # later runs stay correct; nothing is ever admitted again
+        second = session.run(SCRIPT, inputs={"X": small_x})
+        np.testing.assert_array_equal(second.get("out"), first.get("out"))
+        assert len(session.cache) == 0
+        assert session.stats.hits == 0
+        # degradation fires exactly once (idempotent)
+        assert session.resilience.stats.degraded_events == 1
+
+
+class TestEvictionFailure:
+    def test_spill_write_failure_degrades_not_crashes(self):
+        # a tight budget forces live-variable spilling; the injected
+        # write fault makes the pressure-relief path itself fail
+        script = """
+        A = rand(rows=120, cols=120, seed=1);
+        B = rand(rows=120, cols=120, seed=2);
+        C = A + B;
+        out = sum(C);
+        """
+        clean = LimaSession(LimaConfig.base().with_(
+            memory_budget=200 * 1024)).run(script)
+        config = LimaConfig.base().with_(
+            memory_budget=200 * 1024,
+            fault_specs=("spill.write:io:rate=1",))
+        session = LimaSession(config)
+        with pytest.warns(ResilienceWarning, match="pass-through"):
+            result = session.run(script)
+        np.testing.assert_array_equal(result.get("out"), clean.get("out"))
+        # live variables survived in memory despite the dead spill path
+        np.testing.assert_array_equal(result.get("C"),
+                                      clean.get("A") + clean.get("B"))
+        assert session.memory.degraded
+        assert session.resilience.stats.degraded_events == 1
+
+    def test_degrade_is_idempotent(self, small_x):
+        session = LimaSession(LimaConfig.full())
+        with pytest.warns(ResilienceWarning):
+            session.memory.degrade("test-induced")
+        session.memory.degrade("second call ignored")
+        assert session.resilience.stats.degraded_events == 1
+        assert session.memory.degrade_reason == "test-induced"
+        # execution still works and is correct
+        result = session.run(SCRIPT, inputs={"X": small_x})
+        expected = float(np.sum(small_x.T @ small_x + 1))
+        assert result.get("out") == pytest.approx(expected)

@@ -1,0 +1,163 @@
+"""Tests of the fault-injection framework itself.
+
+These tests construct injectors directly (never through the environment),
+so they stay correct even when the whole suite runs under a
+``LIMA_INJECT_FAULT`` chaos configuration.
+"""
+
+import pytest
+
+from repro.errors import LimaError, WorkerCrashError
+from repro.resilience import (FAULT_KINDS, FAULT_POINTS, FaultInjector,
+                              FaultSite, FaultSpec, parse_fault_spec)
+from repro.resilience.faults import env_fault_specs
+from repro.resilience.stats import ResilienceStats
+
+
+class TestParsing:
+    def test_minimal_spec(self):
+        spec = parse_fault_spec("spill.read:corrupt")
+        assert spec.point == "spill.read"
+        assert spec.kind == "corrupt"
+        assert spec.rate == 1.0
+        assert spec.seed == 0
+        assert spec.times is None
+
+    def test_full_spec(self):
+        spec = parse_fault_spec("parfor.iteration:crash:rate=0.5,seed=7,times=3")
+        assert spec.rate == 0.5
+        assert spec.seed == 7
+        assert spec.times == 3
+
+    @pytest.mark.parametrize("bad", [
+        "spill.read",                       # no kind
+        "nosuch.point:io",                  # unknown point
+        "spill.read:explode",               # unknown kind
+        "spill.read:io:rate=2",             # rate out of range
+        "spill.read:io:bogus=1",            # unknown option
+        "spill.read:io:rate=x",             # non-numeric value
+        "spill.read:io:rate=1:extra",       # too many segments
+    ])
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_fault_spec(bad)
+
+    def test_every_point_and_kind_parses(self):
+        for point in FAULT_POINTS:
+            for kind in FAULT_KINDS:
+                assert parse_fault_spec(f"{point}:{kind}").point == point
+
+
+class TestDeterminism:
+    def fire_pattern(self, spec_text, trials=200):
+        site = FaultSite(parse_fault_spec(spec_text))
+        return [site.should_fire() for _ in range(trials)]
+
+    def test_same_seed_same_pattern(self):
+        a = self.fire_pattern("cache.probe:io:rate=0.3,seed=11")
+        b = self.fire_pattern("cache.probe:io:rate=0.3,seed=11")
+        assert a == b
+        assert any(a) and not all(a)
+
+    def test_different_seed_different_pattern(self):
+        a = self.fire_pattern("cache.probe:io:rate=0.3,seed=11")
+        b = self.fire_pattern("cache.probe:io:rate=0.3,seed=12")
+        assert a != b
+
+    def test_rate_bounds(self):
+        assert all(self.fire_pattern("cache.probe:io:rate=1"))
+        assert not any(self.fire_pattern("cache.probe:io:rate=0"))
+
+    def test_times_cap(self):
+        fired = self.fire_pattern("cache.probe:io:rate=1,times=3")
+        assert sum(fired) == 3
+        assert fired[:3] == [True, True, True]
+
+
+class TestFireKinds:
+    def make_site(self, spec_text, stats=None):
+        return FaultSite(parse_fault_spec(spec_text), stats=stats)
+
+    def test_io_raises_oserror(self):
+        with pytest.raises(OSError):
+            self.make_site("spill.read:io").fire()
+
+    def test_oom_raises_memoryerror(self):
+        with pytest.raises(MemoryError):
+            self.make_site("cache.admit:oom").fire()
+
+    def test_crash_raises_worker_crash(self):
+        with pytest.raises(WorkerCrashError):
+            self.make_site("parfor.iteration:crash").fire()
+
+    def test_latency_returns_none(self):
+        assert self.make_site("exec.instruction:latency").fire() is None
+
+    def test_file_kinds_returned_when_file_ok(self):
+        assert self.make_site("spill.read:corrupt").fire(file_ok=True) \
+            == "corrupt"
+        assert self.make_site("spill.read:truncate").fire(file_ok=True) \
+            == "truncate"
+
+    def test_file_kinds_degrade_to_io_at_pure_sites(self):
+        with pytest.raises(OSError):
+            self.make_site("cache.probe:corrupt").fire()
+
+    def test_fires_counted_into_stats(self):
+        stats = ResilienceStats()
+        site = self.make_site("spill.read:io:rate=1,times=2", stats=stats)
+        for _ in range(5):
+            with pytest.raises(OSError):
+                site.fire()
+            if site.fires >= 2:
+                break
+        assert stats.faults_injected == 2
+
+    def test_damage_file_flips_one_byte(self, tmp_path):
+        path = tmp_path / "victim.bin"
+        original = bytes(range(64))
+        path.write_bytes(original)
+        site = self.make_site("spill.read:corrupt:seed=5")
+        site.damage_file(str(path), "corrupt")
+        damaged = path.read_bytes()
+        assert len(damaged) == len(original)
+        diffs = [i for i, (a, b) in enumerate(zip(original, damaged))
+                 if a != b]
+        assert len(diffs) == 1
+        assert diffs[0] >= 8  # past the header magic
+
+    def test_damage_file_truncates(self, tmp_path):
+        path = tmp_path / "victim.bin"
+        path.write_bytes(bytes(64))
+        self.make_site("spill.read:truncate").damage_file(str(path),
+                                                          "truncate")
+        assert path.stat().st_size == 32
+
+
+class TestInjector:
+    def test_site_lookup(self):
+        injector = FaultInjector(["spill.read:io", "cache.probe:oom"])
+        assert injector.site("spill.read").spec.kind == "io"
+        assert injector.site("cache.probe").spec.kind == "oom"
+        assert injector.site("cache.admit") is None
+
+    def test_last_spec_wins_per_point(self):
+        injector = FaultInjector(["spill.read:io", "spill.read:corrupt"])
+        assert injector.site("spill.read").spec.kind == "corrupt"
+
+    def test_accepts_spec_objects(self):
+        injector = FaultInjector([FaultSpec("spill.read", "io")])
+        assert injector.site("spill.read") is not None
+
+    def test_env_parsing(self):
+        specs = env_fault_specs(
+            {"LIMA_INJECT_FAULT":
+             "spill.read:corrupt:rate=0.2; parfor.iteration:crash"})
+        assert [s.point for s in specs] == ["spill.read", "parfor.iteration"]
+
+    def test_env_empty(self):
+        assert env_fault_specs({}) == []
+
+    def test_env_invalid_raises_lima_error(self):
+        with pytest.raises(LimaError):
+            env_fault_specs({"LIMA_INJECT_FAULT": "nope"})

@@ -1,0 +1,131 @@
+"""Hardening of cache-archive warm starts: truncated or corrupted
+archives fall back to a cold start, bad entries are skipped — a warm
+start never raises."""
+
+import os
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+from repro.errors import ResilienceWarning
+from repro.reuse.cache import LineageCache
+from repro.reuse.persist import load_cache, save_cache
+
+
+@pytest.fixture
+def archive(tmp_path, small_x):
+    """A valid archive with several entries (matrices and scalars)."""
+    producer = LimaSession(LimaConfig.hybrid())
+    producer.run("G = t(X) %*% X; H = X %*% G; s = sum(H);",
+                 inputs={"X": small_x})
+    path = str(tmp_path / "cache.limacache")
+    written = save_cache(producer.cache, path)
+    assert written >= 3
+    return path, written
+
+
+def _fresh_cache():
+    return LineageCache(LimaConfig.hybrid())
+
+
+class TestArchiveHardening:
+    def test_truncated_archive_cold_start(self, archive):
+        path, _ = archive
+        os.truncate(path, os.path.getsize(path) // 2)
+        with pytest.warns(ResilienceWarning, match="cold cache"):
+            assert load_cache(_fresh_cache(), path) == 0
+
+    def test_nonexistent_archive_cold_start(self, tmp_path):
+        with pytest.warns(ResilienceWarning, match="cold cache"):
+            assert load_cache(_fresh_cache(),
+                              str(tmp_path / "missing.limacache")) == 0
+
+    def test_garbage_file_cold_start(self, tmp_path):
+        path = tmp_path / "garbage.limacache"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.warns(ResilienceWarning, match="cold cache"):
+            assert load_cache(_fresh_cache(), str(path)) == 0
+
+    def test_bad_manifest_json_cold_start(self, tmp_path):
+        path = tmp_path / "badmanifest.limacache"
+        with zipfile.ZipFile(path, "w") as zf:
+            zf.writestr("manifest.json", "{not valid json")
+        with pytest.warns(ResilienceWarning, match="cold cache"):
+            assert load_cache(_fresh_cache(), str(path)) == 0
+
+    def test_version_mismatch_cold_start(self, tmp_path):
+        path = tmp_path / "future.limacache"
+        with zipfile.ZipFile(path, "w") as zf:
+            zf.writestr("manifest.json",
+                        '{"version": 99, "entries": []}')
+        with pytest.warns(ResilienceWarning, match="version"):
+            assert load_cache(_fresh_cache(), str(path)) == 0
+
+    def test_one_corrupt_entry_skipped_rest_loaded(self, archive, tmp_path):
+        src, written = archive
+        dst = str(tmp_path / "partially-corrupt.limacache")
+        with zipfile.ZipFile(src) as zin:
+            arrays = [n for n in zin.namelist() if n.endswith(".npy")]
+            victim = arrays[0]
+            with zipfile.ZipFile(dst, "w") as zout:
+                for name in zin.namelist():
+                    data = zin.read(name)
+                    if name == victim:
+                        data = b"torn array bytes"
+                    zout.writestr(name, data)
+        cache = _fresh_cache()
+        with pytest.warns(ResilienceWarning, match="skipped 1"):
+            admitted = load_cache(cache, dst)
+        assert admitted == written - 1
+        assert len(cache) == written - 1
+
+    def test_good_archive_loads_without_warning(self, archive):
+        import warnings as _warnings
+        path, written = archive
+        cache = _fresh_cache()
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", ResilienceWarning)
+            assert load_cache(cache, path) == written
+
+
+class TestInjectedPersistFaults:
+    def test_injected_load_truncation_cold_starts(self, archive):
+        path, _ = archive
+        config = LimaConfig.hybrid().with_(
+            fault_specs=("persist.load:truncate:rate=1,times=1",))
+        cache = LineageCache(config)
+        with pytest.warns(ResilienceWarning, match="cold cache"):
+            assert load_cache(cache, path) == 0
+
+    def test_injected_load_io_error_cold_starts(self, archive):
+        path, _ = archive
+        config = LimaConfig.hybrid().with_(
+            fault_specs=("persist.load:io:rate=1,times=1",))
+        cache = LineageCache(config)
+        with pytest.warns(ResilienceWarning, match="injected"):
+            assert load_cache(cache, path) == 0
+
+    def test_injected_save_corruption_survived_by_load(self, small_x,
+                                                       tmp_path):
+        config = LimaConfig.hybrid().with_(
+            fault_specs=("persist.save:corrupt:rate=1,times=1",))
+        producer = LimaSession(config)
+        producer.run("G = t(X) %*% X;", inputs={"X": small_x})
+        path = str(tmp_path / "damaged.limacache")
+        save_cache(producer.cache, path)
+        # the damaged archive never raises out of a warm start
+        with pytest.warns(ResilienceWarning):
+            admitted = load_cache(_fresh_cache(), path)
+        assert admitted >= 0
+
+    def test_recovered_warm_start_still_correct(self, archive, small_x):
+        # whatever survives a partially damaged archive must serve hits
+        # that are bit-identical to recomputation
+        path, _ = archive
+        consumer = LimaSession(LimaConfig.hybrid())
+        load_cache(consumer.cache, path)
+        result = consumer.run("G = t(X) %*% X;", inputs={"X": small_x})
+        np.testing.assert_array_equal(result.get("G"),
+                                      small_x.T @ small_x)

@@ -1,0 +1,198 @@
+"""Checksummed spill files and the spill-read recovery ladder.
+
+Backend-level tests construct private :class:`SpillBackend` instances
+(with no injector), so they behave identically when the suite itself runs
+under a ``LIMA_INJECT_FAULT`` chaos configuration.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+from repro.errors import SpillCorruptionError
+from repro.memory.spill import SpillBackend, _HEADER, _MAGIC
+from repro.resilience import ResilienceManager
+
+
+@pytest.fixture
+def backend(tmp_path):
+    b = SpillBackend(str(tmp_path / "spill"))
+    yield b
+    b.close()
+
+
+def _flip_payload_byte(path, offset_from_header=4):
+    offset = _HEADER.size + offset_from_header
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        byte = fh.read(1)
+        fh.seek(offset)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+
+
+class TestChecksummedFormat:
+    def test_roundtrip_bit_identical(self, backend, rng):
+        array = rng.standard_normal((37, 11))
+        path = backend.write(array)
+        restored = backend.read(path)
+        np.testing.assert_array_equal(restored, array)
+
+    def test_file_carries_magic_header(self, backend, rng):
+        path = backend.write(rng.standard_normal((4, 4)))
+        with open(path, "rb") as fh:
+            magic, crc, length = _HEADER.unpack(fh.read(_HEADER.size))
+        assert magic == _MAGIC
+        assert length == os.path.getsize(path) - _HEADER.size
+        assert crc != 0
+
+    def test_unlink_only_after_successful_read(self, backend, rng):
+        path = backend.write(rng.standard_normal((8, 8)))
+        backend.read(path)  # unlink=True default
+        assert not os.path.exists(path)
+
+    def test_corruption_detected_and_file_kept(self, backend, rng):
+        array = rng.standard_normal((16, 16))
+        path = backend.write(array)
+        _flip_payload_byte(path)
+        with pytest.raises(SpillCorruptionError, match="CRC32"):
+            backend.read(path)
+        # satellite: a failed restore must not unlink the spill file
+        assert os.path.exists(path)
+
+    def test_truncation_detected(self, backend, rng):
+        path = backend.write(rng.standard_normal((16, 16)))
+        os.truncate(path, os.path.getsize(path) // 2)
+        with pytest.raises(SpillCorruptionError, match="truncated"):
+            backend.read(path)
+        assert os.path.exists(path)
+
+    def test_bad_magic_detected(self, backend, rng):
+        path = backend.write(rng.standard_normal((4, 4)))
+        with open(path, "r+b") as fh:
+            fh.write(b"XXXX")
+        with pytest.raises(SpillCorruptionError, match="magic"):
+            backend.read(path)
+
+    def test_missing_file_raises_oserror(self, backend):
+        with pytest.raises(FileNotFoundError):
+            backend.read(os.path.join(str(backend._configured_dir),
+                                      "never-written.npy"))
+
+
+class TestRetryPolicy:
+    def test_transient_io_error_retried(self, backend, rng):
+        manager = ResilienceManager(
+            specs=["spill.read:io:rate=1,times=1"])
+        backend.attach_injector(manager.injector)
+        path = backend.write(rng.standard_normal((8, 8)))
+        data = manager.read_spill(backend, path)
+        assert data.shape == (8, 8)
+        assert manager.stats.spill_read_retries == 1
+        assert manager.stats.spill_reads_recovered == 1
+        assert manager.stats.recoveries == 1
+
+    def test_retries_bounded(self, backend, rng):
+        manager = ResilienceManager(specs=["spill.read:io:rate=1"])
+        manager.spill_retries = 2
+        manager.retry_backoff = 0.0
+        backend.attach_injector(manager.injector)
+        path = backend.write(rng.standard_normal((4, 4)))
+        with pytest.raises(OSError):
+            manager.read_spill(backend, path)
+        assert manager.stats.spill_read_retries == 2
+        assert manager.stats.spill_reads_recovered == 0
+
+    def test_corruption_never_retried(self, backend, rng):
+        manager = ResilienceManager()
+        backend.attach_injector(manager.injector)
+        path = backend.write(rng.standard_normal((8, 8)))
+        _flip_payload_byte(path)
+        with pytest.raises(SpillCorruptionError):
+            manager.read_spill(backend, path)
+        assert manager.stats.checksum_failures == 1
+        assert manager.stats.spill_read_retries == 0
+
+
+def _spill_session(tmp_path):
+    # lru + an effectively infinite bandwidth keep every spill decision
+    # deterministic (costsize scores use measured wall time)
+    config = LimaConfig.full().with_(
+        memory_budget=256 * 1024 * 1024, eviction_policy="lru",
+        disk_bandwidth=1e15, spill_dir=str(tmp_path / "spill"))
+    return LimaSession(config)
+
+
+def _spill_cached_entries(session):
+    cache = session.cache
+    spilled = []
+    with cache._lock:
+        for entry in cache.entries():
+            if entry.status == "cached":
+                cache.evict(entry, spill=True)
+                if entry.status == "spilled":
+                    spilled.append(entry)
+    return spilled
+
+
+class TestLineageRecovery:
+    def test_recompute_from_lineage_bit_identical(self, tmp_path, small_x):
+        session = _spill_session(tmp_path)
+        result = session.run("G = t(X) %*% X;", inputs={"X": small_x})
+        expected = result.get("G")
+        spilled = _spill_cached_entries(session)
+        assert spilled, "expected at least one spilled entry"
+        for entry in spilled:
+            _flip_payload_byte(entry.spill_path)
+        replay = session.run("G = t(X) %*% X;", inputs={"X": small_x})
+        np.testing.assert_array_equal(replay.get("G"), expected)
+        stats = session.resilience.stats
+        assert stats.checksum_failures >= 1
+        assert stats.recomputes >= 1
+        assert stats.recoveries >= 1
+        assert stats.entries_lost == 0
+
+    def test_recovered_entry_readmitted_as_cached(self, tmp_path, small_x):
+        session = _spill_session(tmp_path)
+        session.run("G = t(X) %*% X;", inputs={"X": small_x})
+        spilled = _spill_cached_entries(session)
+        for entry in spilled:
+            _flip_payload_byte(entry.spill_path)
+        session.run("G = t(X) %*% X;", inputs={"X": small_x})
+        assert all(entry.status == "cached" for entry in spilled)
+        # the corrupted files were discarded during recovery
+        assert all(entry.spill_path is None for entry in spilled)
+
+    def test_truncated_spill_recovered(self, tmp_path, small_x):
+        session = _spill_session(tmp_path)
+        result = session.run("G = t(X) %*% X;", inputs={"X": small_x})
+        expected = result.get("G")
+        spilled = _spill_cached_entries(session)
+        for entry in spilled:
+            os.truncate(entry.spill_path,
+                        os.path.getsize(entry.spill_path) // 2)
+        replay = session.run("G = t(X) %*% X;", inputs={"X": small_x})
+        np.testing.assert_array_equal(replay.get("G"), expected)
+        assert session.resilience.stats.recomputes >= 1
+
+    def test_unrecoverable_entry_degrades_to_miss(self, tmp_path, small_x):
+        session = _spill_session(tmp_path)
+        result = session.run("G = t(X) %*% X;", inputs={"X": small_x})
+        expected = result.get("G")
+        spilled = _spill_cached_entries(session)
+        for entry in spilled:
+            _flip_payload_byte(entry.spill_path)
+        # sabotage the recovery log: without registered inputs the
+        # lineage's input leaves cannot be re-bound.  Probe directly so
+        # the next run() cannot re-register the input first.
+        session.resilience._inputs.clear()
+        entry = spilled[0]
+        assert session.cache.probe(entry.key) is None
+        assert entry.status == "evicted"
+        stats = session.resilience.stats
+        assert stats.entries_lost >= 1
+        assert stats.recompute_failures >= 1
+        # correctness is preserved by plain recomputation (a cache miss)
+        replay = session.run("G = t(X) %*% X;", inputs={"X": small_x})
+        np.testing.assert_array_equal(replay.get("G"), expected)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import LimaConfig, LimaSession
-from repro.errors import ReuseError
+from repro.errors import ResilienceWarning
 from repro.reuse.cache import LineageCache
 from repro.reuse.persist import load_cache, save_cache
 
@@ -81,13 +81,16 @@ class TestSaveLoad:
         consumer.run(script, inputs=inputs)
         assert consumer.stats.multilevel_hits >= 1
 
-    def test_bad_archive_rejected(self, tmp_path):
+    def test_bad_archive_falls_back_to_cold_start(self, tmp_path):
         bogus = tmp_path / "bogus.zip"
         import zipfile
         with zipfile.ZipFile(bogus, "w") as zf:
             zf.writestr("random.txt", "nope")
-        with pytest.raises(ReuseError):
-            load_cache(LineageCache(LimaConfig.hybrid()), str(bogus))
+        cache = LineageCache(LimaConfig.hybrid())
+        with pytest.warns(ResilienceWarning, match="cold cache"):
+            admitted = load_cache(cache, str(bogus))
+        assert admitted == 0
+        assert len(cache) == 0
 
     def test_budget_respected_on_load(self, archive, small_x):
         producer = LimaSession(LimaConfig.hybrid())
