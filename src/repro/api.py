@@ -21,6 +21,7 @@ Quickstart::
 from __future__ import annotations
 
 import hashlib
+import os
 
 import numpy as np
 
@@ -85,6 +86,13 @@ class LimaSession:
 
     def __init__(self, config: LimaConfig | None = None, seed: int = 42):
         self.config = config or LimaConfig.base()
+        # the LIMA_VERIFY_REUSE environment variable arms the reuse
+        # oracle session-wide (mirrors LIMA_INJECT_FAULT), e.g. for CI
+        # runs that verify every hit of an existing test suite
+        env_rate = os.environ.get("LIMA_VERIFY_REUSE")
+        if env_rate and self.config.reuse_enabled \
+                and self.config.verify_reuse == 0.0:
+            self.config = self.config.with_(verify_reuse=float(env_rate))
         self.config.validate()
         self.seed = seed
         # one session-wide memory manager: the lineage cache and the
@@ -104,6 +112,14 @@ class LimaSession:
             self.memory = None
         self.cache = (LineageCache(self.config, memory=self.memory)
                       if self.config.reuse_enabled else None)
+        # one reuse-correctness oracle spans the session, so its
+        # verified-once memo covers cross-run hits too
+        if self.config.verify_reuse > 0 and self.cache is not None:
+            from repro.reuse.verify import ReuseVerifier
+            self.verifier = ReuseVerifier(self.config, self.resilience,
+                                          seed=seed)
+        else:
+            self.verifier = None
         if self.config.buffer_pool_enabled:
             from repro.runtime.bufferpool import BufferPool
             self.buffer_pool = BufferPool(memory=self.memory)
@@ -155,7 +171,8 @@ class LimaSession:
         interpreter = Interpreter(program, self.config, cache=self.cache,
                                   output=self.output, base_seed=base_seed,
                                   pool=self.buffer_pool, memory=self.memory,
-                                  resilience=self.resilience)
+                                  resilience=self.resilience,
+                                  verifier=self.verifier)
         if self._profiler is not None:
             interpreter.attach_profiler(self._profiler)
         bindings = {}

@@ -107,11 +107,40 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="POINT:KIND[:rate=R,seed=S,times=N]",
                      help="arm a deterministic fault at a named point "
                           "(e.g. spill.read:corrupt:rate=0.2); repeatable")
+    run.add_argument("--verify-reuse", nargs="?", const=1.0, type=float,
+                     default=None, metavar="RATE",
+                     help="arm the reuse-correctness oracle: recompute "
+                          "this fraction of cache hits from their lineage "
+                          "trace and compare (default 1.0 when given "
+                          "without a value)")
     run.add_argument("--stats", action="store_true",
                      help="print lineage cache, memory-manager, and "
                           "resilience statistics")
     run.add_argument("--profile", action="store_true",
                      help="print a per-opcode time/count/cache-hit profile")
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing across the config lattice")
+    fuzz.add_argument("--n", type=int, default=100,
+                      help="number of generated programs (default 100)")
+    fuzz.add_argument("--seed", type=int, default=42,
+                      help="campaign seed (per-program generator seeds "
+                           "are derived from it)")
+    fuzz.add_argument("--budget", type=float, default=None, metavar="SECS",
+                      help="stop after this many seconds")
+    fuzz.add_argument("--size", type=int, default=10,
+                      help="statements per generated program (default 10)")
+    fuzz.add_argument("--out", default="tests/fuzz/regressions",
+                      metavar="DIR",
+                      help="directory for minimized crasher .dml files "
+                           "(default tests/fuzz/regressions)")
+    fuzz.add_argument("--program-seed", type=int, default=None,
+                      metavar="SEED",
+                      help="replay exactly one program with this "
+                           "generator seed (as printed by a failing "
+                           "campaign) instead of a campaign")
+    fuzz.add_argument("--max-failures", type=int, default=10,
+                      help="stop the campaign after this many failures")
 
     recompute = sub.add_parser(
         "recompute", help="recompute a value from a lineage log")
@@ -145,6 +174,8 @@ def cmd_run(args) -> int:
         config = config.with_(memory_budget=args.memory_budget)
     if args.inject_fault:
         config = config.with_(fault_specs=tuple(args.inject_fault))
+    if args.verify_reuse is not None:
+        config = config.with_(verify_reuse=args.verify_reuse)
     session = LimaSession(config, seed=args.seed)
     profiler = None
     if args.profile:
@@ -170,6 +201,8 @@ def cmd_run(args) -> int:
         if session.memory is not None:
             print(session.memory.describe(), file=sys.stderr)
         print(session.resilience.describe(), file=sys.stderr)
+        if session.verifier is not None:
+            print(session.verifier.stats, file=sys.stderr)
     if profiler is not None:
         print(profiler.report(), file=sys.stderr)
     return 0
@@ -199,10 +232,39 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from repro.fuzz import run_differential
+    from repro.fuzz.campaign import run_campaign
+    from repro.fuzz.generator import generate_program
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    if args.program_seed is not None:
+        program = generate_program(args.program_seed, size=args.size)
+        print(program.source)
+        failure = run_differential(program.source, program.outputs)
+        if failure is None:
+            log(f"seed {args.program_seed}: clean across the lattice")
+            return 0
+        log(f"seed {args.program_seed}: {failure}")
+        return 1
+
+    result = run_campaign(n=args.n, seed=args.seed, budget=args.budget,
+                          size=args.size, out_dir=args.out,
+                          max_failures=args.max_failures, log=log)
+    log(f"fuzzed {result.programs} programs in {result.elapsed:.1f}s: "
+        f"{len(result.failures)} failure(s)")
+    for seed, failure, path in result.failures:
+        log(f"  seed {seed}: {failure}"
+            + (f" -> {path}" if path else ""))
+    return 0 if result.ok else 1
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"run": cmd_run, "recompute": cmd_recompute,
-                "inspect": cmd_inspect}
+                "inspect": cmd_inspect, "fuzz": cmd_fuzz}
     return handlers[args.command](args)
 
 

@@ -77,8 +77,12 @@ def fuse_block(instructions: list,
     variant_names: set[str] = set(variant_vars or ())
 
     def is_fusable(inst) -> bool:
+        # string-literal "+" is concatenation, not an elementwise add:
+        # fusing it would embed the string into a numeric template
         return (isinstance(inst, ComputeInstruction)
-                and inst.opcode in FUSABLE)
+                and inst.opcode in FUSABLE
+                and not any(op.is_literal and isinstance(op.value, str)
+                            for op in inst.operands))
 
     def is_variant(inst) -> bool:
         return any(n in variant_names for n in inst.input_names())

@@ -109,6 +109,11 @@ class LimaConfig:
     spill_retries: int = 3
     #: initial delay (seconds) of the spill-read retry backoff
     retry_backoff: float = 0.01
+    #: reuse-correctness oracle: fraction of cache hits and partial-reuse
+    #: compensations whose value is recomputed from its lineage trace and
+    #: compared against the reused value (0.0 = off, 1.0 = every hit).
+    #: Mismatches raise :class:`~repro.errors.ReuseVerificationError`.
+    verify_reuse: float = 0.0
 
     # ------------------------------------------------------------------
     # presets
@@ -223,6 +228,8 @@ class LimaConfig:
             raise ValueError("spill_retries must be >= 0")
         if self.retry_backoff < 0:
             raise ValueError("retry_backoff must be >= 0")
+        if not 0.0 <= self.verify_reuse <= 1.0:
+            raise ValueError("verify_reuse must be in [0, 1]")
         if self.fault_specs:
             from repro.resilience.faults import FaultSpec, parse_fault_spec
             for spec in self.fault_specs:

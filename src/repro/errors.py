@@ -46,6 +46,27 @@ class ReuseError(LimaError):
     """The lineage cache or a reuse rewrite failed."""
 
 
+class ReuseVerificationError(ReuseError):
+    """The reuse-correctness oracle found a reused value that disagrees
+    with recomputing it from its lineage trace.
+
+    Carries the reuse ``kind`` (``full``/``partial``/``multilevel``), the
+    cache-key lineage ``item``, both values (``cached``, ``recomputed``)
+    and the maximum absolute difference between them.
+    """
+
+    def __init__(self, kind: str, item, cached, recomputed,
+                 max_abs_diff: float):
+        self.kind = kind
+        self.item = item
+        self.cached = cached
+        self.recomputed = recomputed
+        self.max_abs_diff = max_abs_diff
+        super().__init__(
+            f"{kind} reuse of {item!r} diverges from its lineage trace "
+            f"(max abs diff {max_abs_diff:.3e})")
+
+
 class SpillError(LimaError):
     """A spill file could not be written or restored."""
 

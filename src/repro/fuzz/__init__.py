@@ -1,0 +1,29 @@
+"""Differential DML fuzzing: generator, executor, minimizer, campaign.
+
+The subsystem attacks LIMA's core claim — that full reuse, partial reuse
+with compensation plans, deduplication, multi-level reuse, eviction and
+spilling, and parfor all preserve the results of plain re-execution —
+with randomly composed, shape-correct DML programs run under a lattice of
+configurations and compared against the no-reuse baseline.
+
+* :mod:`repro.fuzz.generator` — seeded, grammar-based program generation
+* :mod:`repro.fuzz.differential` — the config lattice and result oracle
+* :mod:`repro.fuzz.minimize` — delta-debugging shrinker for failures
+* :mod:`repro.fuzz.campaign` — the ``repro fuzz`` campaign driver
+"""
+
+from repro.fuzz.differential import (CONFIG_LATTICE, DifferentialFailure,
+                                     run_differential)
+from repro.fuzz.generator import GeneratedProgram, ProgramGenerator
+from repro.fuzz.minimize import minimize
+from repro.fuzz.campaign import run_campaign
+
+__all__ = [
+    "CONFIG_LATTICE",
+    "DifferentialFailure",
+    "GeneratedProgram",
+    "ProgramGenerator",
+    "minimize",
+    "run_campaign",
+    "run_differential",
+]

@@ -1,0 +1,125 @@
+"""The ``repro fuzz`` campaign driver.
+
+Generates programs from a base seed, runs each through the differential
+lattice, minimizes any failure with delta debugging, and writes the
+minimized crasher as a replayable ``.dml`` regression file whose header
+records everything needed to reproduce it:
+
+.. code-block:: text
+
+    # fuzz-seed: 42000017
+    # config: hybrid
+    # kind: output
+    # outputs: m1, s2
+
+The test suite (``tests/fuzz/test_regressions.py``) re-runs every file in
+the regression directory through the full lattice and fails on any
+remaining divergence, so fixed crashers stay fixed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.fuzz.differential import run_differential
+from repro.fuzz.generator import GeneratedProgram, generate_program
+from repro.fuzz.minimize import minimize
+
+#: per-program generator seeds are derived from the campaign seed with a
+#: large odd stride so neighbouring campaigns don't overlap
+SEED_STRIDE = 1_000_003
+
+
+@dataclass
+class CampaignResult:
+    programs: int = 0
+    failures: list = field(default_factory=list)  # (seed, failure, path)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def program_seed(campaign_seed: int, index: int) -> int:
+    return campaign_seed * SEED_STRIDE + index
+
+
+def run_campaign(n: int = 100, seed: int = 42, budget: float | None = None,
+                 size: int = 10, out_dir: str | None = None,
+                 configs: dict | None = None, max_failures: int = 10,
+                 log=None) -> CampaignResult:
+    """Fuzz up to ``n`` programs (or until ``budget`` seconds elapse)."""
+    log = log or (lambda message: None)
+    result = CampaignResult()
+    start = time.monotonic()
+    for index in range(n):
+        if budget is not None and time.monotonic() - start >= budget:
+            log(f"budget of {budget:.0f}s exhausted after "
+                f"{result.programs} programs")
+            break
+        gen_seed = program_seed(seed, index)
+        program = generate_program(gen_seed, size=size)
+        failure = run_differential(program.source, program.outputs,
+                                   configs=configs)
+        result.programs += 1
+        if failure is None:
+            if (index + 1) % 20 == 0:
+                log(f"{index + 1}/{n} programs clean "
+                    f"({time.monotonic() - start:.1f}s)")
+            continue
+        log(f"seed {gen_seed}: {failure}")
+        reduced = _minimize_failure(program, failure, configs)
+        path = None
+        if out_dir is not None:
+            path = write_regression(out_dir, reduced, failure)
+            log(f"minimized crasher -> {path}")
+        result.failures.append((gen_seed, failure, path))
+        if len(result.failures) >= max_failures:
+            log(f"stopping after {max_failures} failures")
+            break
+    result.elapsed = time.monotonic() - start
+    return result
+
+
+def _minimize_failure(program: GeneratedProgram, failure, configs):
+    signature = failure.signature
+
+    def still_fails(candidate: GeneratedProgram) -> bool:
+        repro = run_differential(candidate.source, candidate.outputs,
+                                 configs=configs)
+        return repro is not None and repro.signature == signature
+
+    return minimize(program, still_fails)
+
+
+# ----------------------------------------------------------------------
+# regression files
+# ----------------------------------------------------------------------
+
+def write_regression(out_dir: str, program: GeneratedProgram,
+                     failure) -> str:
+    os.makedirs(out_dir, exist_ok=True)
+    name = f"crash-{program.seed}-{failure.config}-{failure.kind}.dml"
+    path = os.path.join(out_dir, name)
+    header = (f"# fuzz-seed: {program.seed}\n"
+              f"# config: {failure.config}\n"
+              f"# kind: {failure.kind}\n"
+              f"# outputs: {', '.join(program.outputs)}\n")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(header + program.source)
+    return path
+
+
+def read_regression(path: str) -> tuple[str, list[str]]:
+    """Parse a regression file into (source, compared outputs)."""
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    outputs: list[str] = []
+    for line in text.splitlines():
+        if line.startswith("# outputs:"):
+            outputs = [o.strip() for o in
+                       line.partition(":")[2].split(",") if o.strip()]
+    return text, outputs

@@ -1,0 +1,198 @@
+"""Delta-debugging minimizer for failing generated programs.
+
+Purely trial-based: the minimizer proposes structurally smaller program
+candidates — dropping statements, unwrapping control-flow blocks,
+shrinking integer literals — and keeps a candidate only when the caller's
+``check`` predicate confirms it still fails *the same way* (same config,
+same failure kind, same error type).  Candidates that no longer compile
+simply fail the predicate and are rejected, so no semantic knowledge of
+the grammar is needed beyond recomputing which output variables survive.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.fuzz.generator import Block, GeneratedProgram, Raw
+
+#: cap on predicate evaluations per minimization (each runs the lattice)
+MAX_CHECKS = 300
+
+_ASSIGN = re.compile(r"^\s*([A-Za-z_]\w*)\s*=[^=]")
+_MULTI_ASSIGN = re.compile(r"^\s*\[([^\]]+)\]\s*=")
+_INT = re.compile(r"\b\d+\b")
+
+
+def _clone(nodes: list) -> list:
+    out = []
+    for node in nodes:
+        if isinstance(node, Raw):
+            out.append(Raw(node.text))
+        else:
+            out.append(Block(node.header, _clone(node.body), node.tail,
+                             _clone(node.tail_body)))
+    return out
+
+
+def assigned_names(nodes: list) -> set[str]:
+    """Variables assigned anywhere in the IR (function defs excluded)."""
+    names: set[str] = set()
+    for node in nodes:
+        if isinstance(node, Raw):
+            match = _MULTI_ASSIGN.match(node.text)
+            if match:
+                names.update(p.strip() for p in match.group(1).split(","))
+                continue
+            match = _ASSIGN.match(node.text)
+            if match:
+                names.add(match.group(1))
+        elif "function" not in node.header:
+            names.update(assigned_names(node.body))
+            names.update(assigned_names(node.tail_body))
+    return names
+
+
+def _candidate(program: GeneratedProgram, nodes: list) -> GeneratedProgram:
+    live = assigned_names(nodes)
+    outputs = [o for o in program.outputs if o in live]
+    return GeneratedProgram(nodes=nodes, outputs=outputs,
+                            seed=program.seed)
+
+
+def _slots(nodes: list):
+    """Every (parent list, index) removal site, innermost last."""
+    sites = []
+    for i, node in enumerate(nodes):
+        sites.append((nodes, i))
+        if isinstance(node, Block):
+            sites.extend(_slots(node.body))
+            sites.extend(_slots(node.tail_body))
+    return sites
+
+
+class _Budget:
+    def __init__(self, check, limit: int):
+        self.check = check
+        self.left = limit
+
+    def __call__(self, candidate) -> bool:
+        if self.left <= 0:
+            return False
+        self.left -= 1
+        return self.check(candidate)
+
+
+def minimize(program: GeneratedProgram, check,
+             max_checks: int = MAX_CHECKS) -> GeneratedProgram:
+    """Shrink ``program`` while ``check(candidate)`` keeps returning True.
+
+    ``check`` must already hold for ``program`` itself; the result is
+    1-minimal w.r.t. the transformations (statement removal, block
+    unwrapping, integer shrinking) up to the check budget.
+    """
+    budget = _Budget(check, max_checks)
+    current = program
+    changed = True
+    while changed and budget.left > 0:
+        changed = (_pass_remove(current, budget)
+                   or _pass_unwrap(current, budget)
+                   or _pass_shrink_ints(current, budget)
+                   or _pass_drop_outputs(current, budget))
+        if changed is not None and changed is not False:
+            current = changed
+            changed = True
+        else:
+            changed = False
+    return current
+
+
+def _pass_remove(program: GeneratedProgram, budget):
+    """Drop one statement (trying larger chunks first, ddmin-style)."""
+    nodes = program.nodes
+    # chunked removal over the top level first
+    size = max(len(nodes) // 2, 1)
+    while size >= 1:
+        start = 0
+        while start < len(nodes):
+            trial = nodes[:start] + nodes[start + size:]
+            if trial and len(trial) < len(nodes):
+                candidate = _candidate(program, _clone(trial))
+                if candidate.outputs and budget(candidate):
+                    return candidate
+            start += size
+        if size == 1:
+            break
+        size //= 2
+    # then single statements anywhere in the tree (innermost first);
+    # slots are recomputed per clone — _slots orders them identically
+    total = len(_slots(nodes))
+    for site_no in reversed(range(total)):
+        trial_nodes = _clone(nodes)
+        parent, index = _slots(trial_nodes)[site_no]
+        del parent[index]
+        candidate = _candidate(program, trial_nodes)
+        if candidate.outputs and budget(candidate):
+            return candidate
+    return None
+
+
+def _pass_unwrap(program: GeneratedProgram, budget):
+    """Replace one block by its body (or its else-body)."""
+    original_sites = _slots(program.nodes)
+    for site_no, (parent, index) in enumerate(original_sites):
+        node = parent[index]
+        if not isinstance(node, Block) or "function" in node.header:
+            continue
+        for replacement in (node.body, node.tail_body):
+            trial_nodes = _clone(program.nodes)
+            clone_sites = _slots(trial_nodes)
+            cp, ci = clone_sites[site_no]
+            cloned = cp[ci]
+            repl = (cloned.body if replacement is node.body
+                    else cloned.tail_body)
+            cp[ci:ci + 1] = repl
+            candidate = _candidate(program, trial_nodes)
+            if candidate.outputs and budget(candidate):
+                return candidate
+    return None
+
+
+def _iter_raws(nodes: list):
+    for node in nodes:
+        if isinstance(node, Raw):
+            yield node
+        else:
+            yield from _iter_raws(node.body)
+            yield from _iter_raws(node.tail_body)
+
+
+def _pass_shrink_ints(program: GeneratedProgram, budget):
+    """Shrink one integer literal (dims, loop bounds, index ranges)."""
+    raws = list(_iter_raws(program.nodes))
+    for raw_no, raw in enumerate(raws):
+        for match in _INT.finditer(raw.text):
+            value = int(match.group())
+            for smaller in (1, value // 2):
+                if smaller >= value or smaller < 1:
+                    continue
+                trial_nodes = _clone(program.nodes)
+                trial_raw = list(_iter_raws(trial_nodes))[raw_no]
+                trial_raw.text = (raw.text[:match.start()] + str(smaller)
+                                  + raw.text[match.end():])
+                candidate = _candidate(program, trial_nodes)
+                if candidate.outputs and budget(candidate):
+                    return candidate
+    return None
+
+
+def _pass_drop_outputs(program: GeneratedProgram, budget):
+    """Shrink the compared output set (keeps the repro surface small)."""
+    if len(program.outputs) <= 1:
+        return None
+    for drop in program.outputs:
+        outputs = [o for o in program.outputs if o != drop]
+        candidate = GeneratedProgram(nodes=_clone(program.nodes),
+                                     outputs=outputs, seed=program.seed)
+        if budget(candidate):
+            return candidate
+    return None

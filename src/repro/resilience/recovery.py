@@ -77,6 +77,12 @@ class ResilienceManager:
         with self._lock:
             self._inputs.update(mapping)
 
+    def inputs_snapshot(self) -> dict:
+        """The registered session inputs (for out-of-band recomputation,
+        e.g. the reuse-correctness oracle)."""
+        with self._lock:
+            return dict(self._inputs)
+
     # ------------------------------------------------------------------
     # spill-read retry (transient errors only)
     # ------------------------------------------------------------------

@@ -62,6 +62,25 @@ def evaluate_template(template, inputs: list) -> np.ndarray | float:
     return fn(args[0])
 
 
+def _evaluate_values(template, inputs: list[Value]) -> Value:
+    """Evaluate a template stepwise on runtime values.
+
+    Slow path for non-numeric inputs: :func:`repro.runtime.kernels.binary`
+    and :func:`~repro.runtime.kernels.unary` keep the unfused semantics
+    (notably string ``+`` concatenation).
+    """
+    kind = template[0]
+    if kind == "in":
+        return inputs[template[1]]
+    if kind == "lit":
+        from repro.data.values import wrap
+        return wrap(template[1])
+    args = [_evaluate_values(c, inputs) for c in template[1:]]
+    if len(args) == 2:
+        return K.binary(kind, args[0], args[1])
+    return K.unary(kind, args[0])
+
+
 def expand_template(template, input_items: list[LineageItem],
                     literal_cache: dict) -> LineageItem:
     """Expand a fusion template into plain lineage items.
@@ -113,15 +132,24 @@ class FusedInstruction(Instruction):
 
     def execute(self, ctx, state) -> None:
         raw = []
+        values = []
+        fallback = False
         for op in self.operands:
             value = op.resolve(ctx)
+            values.append(value)
             if isinstance(value, MatrixValue):
                 raw.append(value.data)
             elif isinstance(value, ScalarValue):
                 raw.append(value.as_float())
             else:
-                raise LimaRuntimeError(
-                    f"fused operator input must be numeric, got {value.kind}")
+                # a non-numeric input (e.g. a string variable flowing
+                # into a "+" concat): evaluate the template stepwise
+                # through the semantic kernels instead
+                fallback = True
+        if fallback:
+            ctx.symbols.set(self.output,
+                            _evaluate_values(self.template, values))
+            return
         result = evaluate_template(self.template, raw)
         if isinstance(result, np.ndarray) and result.ndim >= 1:
             out: Value = MatrixValue(result.astype(np.float64, copy=False))

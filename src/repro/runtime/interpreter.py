@@ -75,7 +75,7 @@ class Interpreter:
                  cache: LineageCache | None = None,
                  output: list[str] | None = None,
                  base_seed: int = 42,
-                 pool=None, memory=None, resilience=None):
+                 pool=None, memory=None, resilience=None, verifier=None):
         config.validate()
         self.program = program
         self.config = config
@@ -117,6 +117,13 @@ class Interpreter:
                 from repro.resilience.recovery import ResilienceManager
                 resilience = ResilienceManager(config)
         self.resilience = resilience
+        # reuse-correctness oracle: recompute a sampled fraction of reuse
+        # hits from their lineage trace and compare (config.verify_reuse)
+        if (verifier is None and config.verify_reuse > 0
+                and self.cache is not None):
+            from repro.reuse.verify import ReuseVerifier
+            verifier = ReuseVerifier(config, self.resilience, seed=base_seed)
+        self.verifier = verifier
         #: armed exec.instruction fault site (None = zero-cost hot path)
         self._exec_site = resilience.site("exec.instruction")
         import threading
@@ -220,6 +227,9 @@ class Interpreter:
         if hits is not None:
             self.cache.stats.multilevel_hits += 1
             for name, hit in hits.items():
+                if self.verifier is not None:
+                    self.verifier.check("multilevel", out_items[name],
+                                        hit.value, hit.lineage)
                 ctx.symbols.set(name, hit.value)
                 ctx.lineage.set(name, hit.lineage)
             return True
@@ -569,12 +579,18 @@ class Interpreter:
         item = items[out]
         status, payload = self.cache.acquire(item)
         if status == "hit":
+            if self.verifier is not None:
+                self.verifier.check("full", item, payload.value,
+                                    payload.lineage)
             ctx.symbols.set(out, payload.value)
             self._bind_lineage(ctx, out, payload.lineage or item)
             return
         if status == "wait":
             result = self.cache.wait_for(payload)
             if result is not None:
+                if self.verifier is not None:
+                    self.verifier.check("full", item, result.value,
+                                        result.lineage)
                 ctx.symbols.set(out, result.value)
                 self._bind_lineage(ctx, out, result.lineage or item)
                 return
@@ -591,6 +607,8 @@ class Interpreter:
                 partial = try_partial_reuse(item, values, self.cache)
                 if partial is not None:
                     elapsed = time.perf_counter() - start
+                    if self.verifier is not None:
+                        self.verifier.check("partial", item, partial)
                     ctx.symbols.set(out, partial)
                     self._bind_lineage(ctx, out, item)
                     self.cache.fulfill(item, partial, item, elapsed)
@@ -616,6 +634,8 @@ class Interpreter:
             hits[name] = (item, hit)
         if hits is not None:
             for name, (item, hit) in hits.items():
+                if self.verifier is not None:
+                    self.verifier.check("full", item, hit.value, hit.lineage)
                 ctx.symbols.set(name, hit.value)
                 self._bind_lineage(ctx, name, hit.lineage or item)
             return
@@ -697,6 +717,9 @@ class Interpreter:
             if hits is not None:
                 self.cache.stats.multilevel_hits += 1
                 for fo, target in zip(func.outputs, out_names):
+                    if self.verifier is not None:
+                        self.verifier.check("multilevel", out_items[fo],
+                                            hits[fo].value, hits[fo].lineage)
                     ctx.symbols.set(target, hits[fo].value)
                     if ctx.lineage_active:
                         ctx.lineage.set(target, hits[fo].lineage)

@@ -183,6 +183,8 @@ def _inplace_target(value: Value):
     buf = value.data
     if buf.dtype != np.float64 or not buf.flags.writeable:
         return None
+    if buf.base is not None:
+        return None  # a view may alias another live value's buffer
     return buf
 
 
@@ -295,7 +297,10 @@ def tsmm(operand: Value) -> MatrixValue:
 
 
 def transpose(operand: Value) -> MatrixValue:
-    return MatrixValue(np.ascontiguousarray(_num(operand).T))
+    # always copy: for 1xN/Nx1 inputs the transpose is already contiguous
+    # and ascontiguousarray would alias the input, violating the
+    # fresh-allocation contract in-place execution relies on
+    return MatrixValue(_num(operand).T.copy())
 
 
 def rev(operand: Value) -> MatrixValue:

@@ -1,0 +1,73 @@
+"""Campaign driver mechanics (fast) and a real mini-campaign (marked
+``fuzz``; tier-1 deselects it — run with ``pytest -m fuzz``)."""
+
+import pytest
+
+from repro import LimaConfig
+from repro.fuzz.campaign import (SEED_STRIDE, program_seed, read_regression,
+                                 run_campaign, write_regression)
+from repro.fuzz.differential import DifferentialFailure
+from repro.fuzz.generator import GeneratedProgram, Raw
+
+
+def test_program_seed_derivation():
+    assert program_seed(42, 0) == 42 * SEED_STRIDE
+    assert program_seed(42, 7) == 42 * SEED_STRIDE + 7
+    # neighbouring campaigns never overlap within a normal -n range
+    assert program_seed(42, SEED_STRIDE - 1) < program_seed(43, 0)
+
+
+def test_regression_roundtrip(tmp_path):
+    program = GeneratedProgram(
+        nodes=[Raw("m1 = rand(rows=2, cols=2, seed=5);")],
+        outputs=["m1"], seed=123)
+    failure = DifferentialFailure("hybrid", "output", "detail")
+    path = write_regression(str(tmp_path), program, failure)
+    assert path.endswith("crash-123-hybrid-output.dml")
+    source, outputs = read_regression(path)
+    assert outputs == ["m1"]
+    assert "m1 = rand(rows=2, cols=2, seed=5);" in source
+    # the header survives as comments, so the file replays as-is
+    assert "# fuzz-seed: 123" in source
+
+
+def test_budget_stops_the_campaign():
+    result = run_campaign(n=1000, seed=1, budget=0.0)
+    assert result.programs == 0
+    assert result.ok
+
+
+@pytest.mark.fuzz
+def test_mini_campaign_clean(tmp_path):
+    result = run_campaign(n=15, seed=42, out_dir=str(tmp_path))
+    assert result.programs == 15
+    assert result.ok, [str(f) for _, f, _ in result.failures]
+
+
+@pytest.mark.fuzz
+def test_campaign_minimizes_and_writes_planted_failure(tmp_path,
+                                                       monkeypatch):
+    """End to end: plant a poisoning bug, fuzz, and expect a minimized
+    .dml crasher on disk."""
+    from repro.data.values import MatrixValue
+    from repro.reuse.cache import LineageCache
+
+    original = LineageCache.fulfill
+
+    def poisoned(self, item, value, lineage, compute_time):
+        if isinstance(value, MatrixValue) and value.data.size:
+            data = value.data.copy()
+            data.flat[0] += 1e-3
+            value = MatrixValue(data)
+        return original(self, item, value, lineage, compute_time)
+
+    monkeypatch.setattr(LineageCache, "fulfill", poisoned)
+    result = run_campaign(n=5, seed=42, out_dir=str(tmp_path),
+                          configs={"full": LimaConfig.full},
+                          max_failures=1)
+    assert not result.ok
+    seed, failure, path = result.failures[0]
+    assert failure.kind == "output"
+    assert path is not None
+    source, outputs = read_regression(path)
+    assert outputs

@@ -1,0 +1,143 @@
+"""The differential executor: comparators, clean programs stay clean,
+the lattice actually engages reuse, and a planted cache-poisoning
+mutation is detected (acceptance criterion)."""
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+from repro.data.values import MatrixValue
+from repro.fuzz.differential import (CONFIG_LATTICE, _compare_stdout,
+                                     run_differential, values_equal)
+from repro.reuse.cache import LineageCache
+
+# a reuse-heavy program: the X %*% Y intermediate recurs, the loop body
+# repeats, and everything is seeded
+PROGRAM = """
+X = rand(rows=6, cols=4, seed=11);
+Y = rand(rows=4, cols=6, seed=12);
+A = X %*% Y;
+B = X %*% Y;
+s = 0;
+for (i in 1:3) {
+  M = (X * 2.0) %*% Y;
+  s = s + sum(M);
+}
+out = sum(A) + sum(B) + s;
+"""
+OUTPUTS = ["A", "B", "out", "s"]
+
+
+# ----------------------------------------------------------------------
+# comparators
+# ----------------------------------------------------------------------
+
+def test_values_equal_exact_is_bitwise():
+    a = np.array([[1.0, 2.0]])
+    assert values_equal(a, a.copy(), exact=True)
+    assert not values_equal(a, a + 1e-15, exact=True)
+    assert not values_equal(a, a.astype(np.float32), exact=True)
+    assert not values_equal(a, np.array([[1.0], [2.0]]), exact=True)
+
+
+def test_values_equal_tolerant():
+    a = np.array([[1.0, np.nan]])
+    assert values_equal(a, a + 1e-12, exact=False)
+    assert not values_equal(a, a + 1e-6, exact=False)
+    # NaN agrees with NaN under equal_nan
+    assert values_equal(a, a.copy(), exact=False)
+
+
+def test_values_equal_scalars_and_strings():
+    assert values_equal(1.5, 1.5, exact=True)
+    assert values_equal("ab", "ab", exact=True)
+    assert not values_equal("ab", "ba", exact=False)
+    assert values_equal([1.0, "x"], [1.0, "x"], exact=True)
+    assert not values_equal([1.0], [1.0, 2.0], exact=True)
+
+
+def test_compare_stdout_fuzzy():
+    base = ["v = 1.2345678901234567", "done"]
+    # identical skeleton, last digits differ: accepted for partial configs
+    near = ["v = 1.2345678901234512", "done"]
+    assert _compare_stdout("cfg", base, near, exact=False) is None
+    assert _compare_stdout("cfg", base, near, exact=True) is not None
+    far = ["v = 1.24", "done"]
+    assert _compare_stdout("cfg", base, far, exact=False) is not None
+    skel = ["w = 1.2345678901234567", "done"]
+    assert _compare_stdout("cfg", base, skel, exact=False) is not None
+
+
+# ----------------------------------------------------------------------
+# the lattice
+# ----------------------------------------------------------------------
+
+def test_lattice_covers_required_axes():
+    names = set(CONFIG_LATTICE)
+    assert {"full", "multilevel", "hybrid", "ltd", "fusion",
+            "parfor-seq", "parfor-4", "tight", "chaos-spill",
+            "verify"} <= names
+
+
+def test_clean_program_passes_the_lattice():
+    assert run_differential(PROGRAM, OUTPUTS) is None
+
+
+def test_lattice_engages_reuse():
+    """The differential run is only meaningful if the configs under test
+    actually hit the cache on this kind of program."""
+    session = LimaSession(CONFIG_LATTICE["full"](), seed=1234)
+    for _ in range(2):
+        session.run(PROGRAM, inputs={}, seed=1234)
+    assert session.stats.hits > 0
+
+
+def test_base_error_is_reported():
+    failure = run_differential("x = undefined_fn(1);", ["x"],
+                               configs={"full": LimaConfig.full})
+    assert failure is not None
+    assert failure.kind == "base-error"
+
+
+def test_failure_signature_drives_minimization():
+    failure = run_differential("x = undefined_fn(1);", ["x"],
+                               configs={"full": LimaConfig.full})
+    assert failure.signature == ("base", "base-error", failure.error_type)
+    assert failure.error_type is not None
+
+
+# ----------------------------------------------------------------------
+# planted cache poisoning (acceptance criterion, differential half)
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def poisoned_cache(monkeypatch):
+    """Corrupt every matrix the lineage cache admits (a copy, so only
+    *reused* values are wrong — exactly what a cache-poisoning bug
+    looks like from the outside)."""
+    original = LineageCache.fulfill
+
+    def poisoned(self, item, value, lineage, compute_time):
+        if isinstance(value, MatrixValue) and value.data.size:
+            data = value.data.copy()
+            data.flat[0] += 1e-3
+            value = MatrixValue(data)
+        return original(self, item, value, lineage, compute_time)
+
+    monkeypatch.setattr(LineageCache, "fulfill", poisoned)
+
+
+def test_differential_catches_planted_poisoning(poisoned_cache):
+    failure = run_differential(PROGRAM, OUTPUTS,
+                               configs={"full": LimaConfig.full})
+    assert failure is not None
+    assert failure.config == "full"
+    assert failure.kind == "output"
+
+
+def test_stats_invariants_hold_on_clean_run():
+    session = LimaSession(LimaConfig.hybrid(), seed=1)
+    session.run(PROGRAM, inputs={}, seed=1)
+    stats = session.stats
+    assert stats.hits + stats.misses <= stats.probes
+    assert stats.partial_hits <= stats.partial_probes

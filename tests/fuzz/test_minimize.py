@@ -1,0 +1,85 @@
+"""The delta-debugging minimizer is purely trial-based: it must shrink
+programs while preserving whatever failure predicate the caller hands
+it, recompute the surviving output set, and respect its check budget."""
+
+from repro.fuzz.generator import Block, GeneratedProgram, Raw
+from repro.fuzz.minimize import assigned_names, minimize
+
+
+def _program(nodes, outputs):
+    return GeneratedProgram(nodes=nodes, outputs=outputs, seed=0)
+
+
+def test_removes_irrelevant_statements():
+    nodes = [Raw(f"v{i} = {i};") for i in range(8)]
+    nodes.insert(4, Raw("bad = 1;"))
+    program = _program(nodes, [f"v{i}" for i in range(8)] + ["bad"])
+    reduced = minimize(program, lambda p: "bad = 1;" in p.source)
+    assert "bad = 1;" in reduced.source
+    assert len(reduced.nodes) == 1
+    assert reduced.outputs == ["bad"]
+
+
+def test_unwraps_blocks():
+    body = [Raw("bad = 1;"), Raw("noise = 2;")]
+    nodes = [Raw("a = 0;"),
+             Block("for (i in 1:3)", body),
+             Raw("b = a + 1;")]
+    program = _program(nodes, ["a", "b", "bad"])
+    reduced = minimize(program, lambda p: "bad = 1;" in p.source)
+    assert "bad = 1;" in reduced.source
+    assert "for" not in reduced.source
+    assert len(reduced.nodes) == 1
+
+
+def test_function_blocks_are_not_unwrapped():
+    fdef = Block("f = function(a) return (o)", [Raw("o = a + 1;")])
+    nodes = [fdef, Raw("bad = f(1);")]
+    program = _program(nodes, ["bad"])
+    reduced = minimize(
+        program,
+        lambda p: "bad = f(1);" in p.source and "function" in p.source)
+    assert "function" in reduced.source
+    assert "bad = f(1);" in reduced.source
+
+
+def test_shrinks_integer_literals():
+    program = _program([Raw("bad = 1000;")], ["bad"])
+    reduced = minimize(program, lambda p: "bad = " in p.source)
+    value = int(reduced.source.split("=")[1].strip().rstrip(";"))
+    assert value == 1
+
+
+def test_outputs_follow_surviving_assignments():
+    nodes = [Raw("keep = 1;"), Raw("drop = 2;")]
+    program = _program(nodes, ["keep", "drop"])
+    reduced = minimize(program, lambda p: "keep = 1;" in p.source)
+    assert "drop" not in reduced.outputs
+    assert reduced.outputs == ["keep"]
+
+
+def test_respects_check_budget():
+    calls = []
+
+    def check(candidate):
+        calls.append(1)
+        return "bad" in candidate.source
+
+    nodes = [Raw(f"v{i} = {i};") for i in range(20)] + [Raw("bad = 1;")]
+    minimize(_program(nodes, ["bad"]), check, max_checks=5)
+    assert len(calls) <= 5
+
+
+def test_original_returned_when_nothing_shrinks():
+    program = _program([Raw("bad = 1;")], ["bad"])
+    reduced = minimize(program, lambda p: p.source == program.source)
+    assert reduced.source == program.source
+
+
+def test_assigned_names_sees_multi_assign_and_blocks():
+    nodes = [Raw("[e1, e2] = eigen(S);"),
+             Block("if (TRUE)", [Raw("inner = 1;")]),
+             Block("f = function(a) return (o)", [Raw("o = a;")])]
+    names = assigned_names(nodes)
+    assert {"e1", "e2", "inner"} <= names
+    assert "o" not in names  # function-local

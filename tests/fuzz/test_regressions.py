@@ -1,0 +1,28 @@
+"""Replay every minimized crasher in ``tests/fuzz/regressions/``
+through the full differential lattice.  Each file was written by a
+failing fuzz campaign and checked in together with the fix — this test
+keeps fixed crashers fixed."""
+
+import glob
+import os
+
+import pytest
+
+from repro.fuzz.campaign import read_regression
+from repro.fuzz.differential import run_differential
+
+_DIR = os.path.join(os.path.dirname(__file__), "regressions")
+_FILES = sorted(glob.glob(os.path.join(_DIR, "*.dml")))
+
+
+def test_regression_corpus_exists():
+    assert _FILES, "the regression corpus must not be empty"
+
+
+@pytest.mark.parametrize(
+    "path", _FILES, ids=[os.path.basename(p) for p in _FILES])
+def test_regression_stays_fixed(path):
+    source, outputs = read_regression(path)
+    assert outputs, f"{path} is missing its '# outputs:' header"
+    failure = run_differential(source, outputs)
+    assert failure is None, f"{os.path.basename(path)}: {failure}"

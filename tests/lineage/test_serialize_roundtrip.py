@@ -1,0 +1,149 @@
+"""Serialization round-trips on the two trace shapes the plain unit
+tests don't reach: dedup traces with embedded PATCH blocks, and deep
+chain DAGs near (and past) the Python recursion limit — serialize,
+deserialize, hashing, and equality are all iterative, so depth must
+never raise RecursionError."""
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+from repro.lineage.item import LineageItem, literal_item
+from repro.lineage.serialize import deserialize, serialize
+
+def _normalize_ids(log: str) -> str:
+    """Rewrite item-id labels to first-appearance ordinals."""
+    mapping: dict[str, str] = {}
+    lines = []
+    for line in log.splitlines():
+        if not line.startswith("I "):
+            lines.append(line)
+            continue
+        head, label, rest = line.split(" ", 2)
+        mapping.setdefault(label, str(len(mapping)))
+        tokens = rest.split(" ")
+        tokens = [mapping.get(t, t) if t.isdigit() else t for t in tokens]
+        lines.append(f"{head} {mapping[label]} {' '.join(tokens)}")
+    return "\n".join(lines)
+
+
+LOOP_PROGRAM = """
+s = 0;
+for (i in 1:6) {
+  V = V * 0.5 + i;
+  s = s + sum(V);
+}
+out = s;
+"""
+
+
+def _ltd_log(program=LOOP_PROGRAM, var="out"):
+    session = LimaSession(LimaConfig.ltd(), seed=1)
+    result = session.run(program, inputs={"V": np.ones((3, 3))}, seed=1)
+    return result.lineage_log(var), session
+
+
+class TestDedupPatchRoundtrip:
+    def test_loop_trace_serializes_patch_blocks(self):
+        log, _ = _ltd_log()
+        assert "PATCH" in log and "dedup" in log and "dout" in log
+
+    def test_dedup_trace_roundtrips(self):
+        log, _ = _ltd_log()
+        root = deserialize(log)
+        again = deserialize(serialize(root))
+        assert again == root
+        # the dedup chain survives intact: one dedup item per iteration
+        dedups = [i for i in again.iter_dag() if i.opcode == "dedup"]
+        assert len(dedups) == 6
+
+    def test_dedup_trace_recomputes_after_roundtrip(self):
+        log, session = _ltd_log()
+        relog = serialize(deserialize(log))
+        inputs = {"V": np.ones((3, 3))}
+        direct = session.recompute(log, inputs=inputs)
+        via_roundtrip = session.recompute(relog, inputs=inputs)
+        np.testing.assert_array_equal(np.asarray(direct),
+                                      np.asarray(via_roundtrip))
+
+    def test_resolved_dedup_equals_roundtripped_resolution(self):
+        log, _ = _ltd_log()
+        root = deserialize(log)
+        again = deserialize(serialize(root))
+        assert root.resolve() == again.resolve()
+
+    def test_function_dedup_roundtrips(self):
+        program = """
+f = function(a) return (o) {
+  o = a * 2.0 + 1.0;
+}
+acc = V;
+for (i in 1:4) {
+  acc = f(acc);
+}
+out = sum(acc);
+"""
+        log, _ = _ltd_log(program)
+        root = deserialize(log)
+        assert deserialize(serialize(root)) == root
+
+
+class TestDeepTraceRoundtrip:
+    DEPTH = sys.getrecursionlimit() + 500
+
+    def _chain(self, depth):
+        item = LineageItem("input", (), "X:1")
+        for _ in range(depth):
+            item = LineageItem("exp", [item])
+        return item
+
+    def test_deep_chain_roundtrips_without_recursion(self):
+        root = self._chain(self.DEPTH)
+        assert root.height == self.DEPTH
+        back = deserialize(serialize(root))
+        assert back.height == self.DEPTH
+        assert back == root
+
+    def test_deep_binary_comb_roundtrips(self):
+        # a comb: each level adds a fresh literal, so the serialized log
+        # carries one literal leaf per level too
+        item = LineageItem("input", (), "X:1")
+        depth = 1200
+        for level in range(depth):
+            item = LineageItem("+", [item, literal_item(float(level % 7))])
+        back = deserialize(serialize(item))
+        assert back == item
+        assert back.height == depth
+
+    def test_deep_chain_line_count_is_linear(self):
+        root = self._chain(300)
+        log = serialize(root)
+        # one line per distinct node: the chain plus its input leaf
+        assert len(log.splitlines()) == 301
+
+    def test_deep_shared_dag_stays_shared(self):
+        shared = self._chain(800)
+        top = LineageItem("mm", [shared, shared])
+        back = deserialize(serialize(top))
+        assert back.inputs[0] is back.inputs[1]
+        assert back == top
+
+
+class TestRoundtripStability:
+    def test_serialize_is_stable_up_to_item_ids(self):
+        # line labels are raw item ids (allocation order), so the literal
+        # text shifts between processes; the id-normalized form must not
+        log, _ = _ltd_log()
+        root = deserialize(log)
+        first = serialize(root)
+        second = serialize(deserialize(first))
+        assert _normalize_ids(first) == _normalize_ids(second)
+
+    @pytest.mark.parametrize("depth", [0, 1, 2, 50])
+    def test_small_depths(self, depth):
+        item = LineageItem("input", (), "X:1")
+        for _ in range(depth):
+            item = LineageItem("sqrt", [item])
+        assert deserialize(serialize(item)) == item

@@ -4,8 +4,11 @@ resilience layer reporting nonzero recoveries (the acceptance scenario
 of the resilience subsystem)."""
 
 import numpy as np
+import pytest
 
 from repro import LimaConfig, LimaSession
+
+pytestmark = [pytest.mark.chaos, pytest.mark.slow]
 
 # three rounds over the same eight intermediates: round 1 populates the
 # cache, round 2 provides the reuse evidence that makes eviction spill

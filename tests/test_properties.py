@@ -249,6 +249,7 @@ class TestInterpreterEquivalence:
                               st.integers(-5, 5)),
                     min_size=1, max_size=10))
     @settings(max_examples=25, deadline=None)
+    @pytest.mark.slow
     def test_random_program_reuse_equivalence(self, steps):
         script = "\n".join(
             _EW_TEMPLATES[i].format(c=c) for i, c in steps)
@@ -268,6 +269,7 @@ class TestInterpreterEquivalence:
                               st.integers(-3, 5), st.integers(1, 4)),
                     min_size=1, max_size=6))
     @settings(max_examples=25, deadline=None)
+    @pytest.mark.slow
     def test_random_control_flow_equivalence(self, steps):
         """Random programs with branches/loops compute the same values
         under every reuse configuration (incl. dedup and CA)."""
@@ -290,6 +292,7 @@ class TestInterpreterEquivalence:
                               st.integers(-3, 5), st.integers(1, 4)),
                     min_size=1, max_size=5))
     @settings(max_examples=15, deadline=None)
+    @pytest.mark.slow
     def test_random_program_lineage_recomputes(self, steps):
         """Any traced variable of a random program recomputes exactly
         from its serialized lineage."""
