@@ -40,6 +40,31 @@ from repro.runtime.context import ExecutionContext
 from repro.runtime.interpreter import Interpreter
 
 
+def input_leaf_item(name: str, value: Value) -> LineageItem:
+    """Content-fingerprinted ``input`` leaf lineage item for a binding.
+
+    The same array content under the same name always yields the same
+    item — the property that enables reuse across invocations *and*
+    across concurrent service sessions.  :class:`LimaSession` memoizes
+    matrix fingerprints per array object on top of this; the service
+    keeps its own memo.
+    """
+    if isinstance(value, MatrixValue):
+        digest = hashlib.sha1(
+            np.ascontiguousarray(value.data).tobytes()).hexdigest()[:16]
+        return LineageItem("input", (), f"{name}:{digest}")
+    if isinstance(value, FrameValue):
+        payload = "\x1f".join(str(cell) for cell in value.data.ravel())
+        digest = hashlib.sha1(payload.encode()).hexdigest()[:16]
+        return LineageItem("input", (), f"{name}:{digest}")
+    if isinstance(value, ScalarValue):
+        return LineageItem("input", (), f"{name}:{value.value!r}")
+    if isinstance(value, StringValue):
+        digest = hashlib.sha1(value.value.encode()).hexdigest()[:16]
+        return LineageItem("input", (), f"{name}:{digest}")
+    raise LimaError(f"unsupported input kind {value.kind}")
+
+
 class RunResult:
     """Outputs, lineage, and printed text of one ``LimaSession.run``."""
 
@@ -157,12 +182,18 @@ class LimaSession:
         return program
 
     def run(self, script: str, inputs: dict | None = None,
-            seed: int | None = None) -> RunResult:
+            seed: int | None = None, budget=None) -> RunResult:
         """Execute a script; ``inputs`` binds arrays/scalars by name.
 
         Input matrices get content-fingerprinted leaf lineage, so the same
         array yields the same lineage across runs — which is what enables
         cross-invocation reuse through the shared cache.
+
+        ``budget`` optionally arms a
+        :class:`~repro.service.budget.RequestBudget`: the run is then
+        checked cooperatively at every instruction boundary and raises
+        :class:`~repro.errors.DeadlineExceeded` /
+        :class:`~repro.errors.SessionCancelled` when it trips.
         """
         program = self.compile(script)
         self._run_counter += 1
@@ -172,18 +203,28 @@ class LimaSession:
                                   output=self.output, base_seed=base_seed,
                                   pool=self.buffer_pool, memory=self.memory,
                                   resilience=self.resilience,
-                                  verifier=self.verifier)
+                                  verifier=self.verifier, budget=budget)
         if self._profiler is not None:
             interpreter.attach_profiler(self._profiler)
         bindings = {}
         for name, obj in (inputs or {}).items():
             value = wrap(obj)
-            bindings[name] = (value, self._input_item(name, value))
+            item = self._input_item(name, value)
+            bindings[name] = (value, item)
             # inputs double as the base of the recovery log: lineage
             # recomputation re-binds its input leaves from here
-            self.resilience.register_input(name, value)
+            self.resilience.register_input(name, value, token=item.data)
         stdout_start = len(self.output)
-        ctx = interpreter.run(bindings)
+        if budget is None:
+            ctx = interpreter.run(bindings)
+        else:
+            from repro.service.budget import activate_budget
+            budget.start()
+            previous = activate_budget(budget)
+            try:
+                ctx = interpreter.run(bindings)
+            finally:
+                activate_budget(previous)
         return RunResult(ctx, stdout_start)
 
     def _input_item(self, name: str, value: Value) -> LineageItem:
@@ -197,22 +238,10 @@ class LimaSession:
                 existing = cached[1]
                 if existing.data.split(":", 1)[0] == name:
                     return existing
-            digest = hashlib.sha1(
-                np.ascontiguousarray(value.data).tobytes()).hexdigest()[:16]
-            item = LineageItem("input", (), f"{name}:{digest}")
+            item = input_leaf_item(name, value)
             self._input_items[key] = (value.data, item)
             return item
-        if isinstance(value, FrameValue):
-            payload = "\x1f".join(
-                str(cell) for cell in value.data.ravel())
-            digest = hashlib.sha1(payload.encode()).hexdigest()[:16]
-            return LineageItem("input", (), f"{name}:{digest}")
-        if isinstance(value, ScalarValue):
-            return LineageItem("input", (), f"{name}:{value.value!r}")
-        if isinstance(value, StringValue):
-            digest = hashlib.sha1(value.value.encode()).hexdigest()[:16]
-            return LineageItem("input", (), f"{name}:{digest}")
-        raise LimaError(f"unsupported input kind {value.kind}")
+        return input_leaf_item(name, value)
 
     # ------------------------------------------------------------------
 

@@ -155,6 +155,46 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("lineage", help="path to a .lineage log file")
     inspect.add_argument("--dot", metavar="PATH",
                          help="write a Graphviz dot rendering")
+
+    serve = sub.add_parser(
+        "serve", help="concurrent session service over stdin/stdout "
+                      "(one JSON request per line)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="worker threads sharing one reuse cache "
+                            "(default 4)")
+    serve.add_argument("--queue-size", type=int, default=32,
+                       help="bounded admission queue length (default 32)")
+    serve.add_argument("--config", "-c", choices=sorted(_PRESETS),
+                       default="hybrid", help="configuration preset")
+    serve.add_argument("--seed", type=int, default=42,
+                       help="default seed for sessions that send none "
+                            "(a shared constant keeps identical scripts "
+                            "reusable across sessions)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECS",
+                       help="default per-session wall-clock deadline")
+    serve.add_argument("--max-instructions", type=int, default=None,
+                       metavar="N",
+                       help="default per-session instruction watchdog")
+    serve.add_argument("--memory-budget", type=_parse_size, metavar="BYTES",
+                       help="unified memory budget shared by all sessions")
+    serve.add_argument("--pressure-high-water", type=float, default=0.95,
+                       metavar="FRAC",
+                       help="memory pressure level counting towards "
+                            "sustained-pressure degradation (default 0.95)")
+    serve.add_argument("--inject-fault", action="append", default=[],
+                       metavar="POINT:KIND[:rate=R,seed=S,times=N]",
+                       help="arm a deterministic fault (service.admit and "
+                            "service.cancel are service-level points)")
+    serve.add_argument("--persist-cache", metavar="PATH",
+                       help="load the shared cache from PATH at startup "
+                            "(when present) and save it on shutdown")
+    serve.add_argument("--stats", action="store_true",
+                       help="print service, cache, memory, and resilience "
+                            "statistics on shutdown")
+    serve.add_argument("--profile", action="store_true",
+                       help="print a per-opcode profile aggregated across "
+                            "all sessions on shutdown")
     return parser
 
 
@@ -261,10 +301,46 @@ def cmd_fuzz(args) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_serve(args) -> int:
+    from repro.service.server import serve_jsonl
+    from repro.service.service import Service
+
+    config = _PRESETS[args.config]()
+    if args.memory_budget is not None:
+        config = config.with_(memory_budget=args.memory_budget)
+    if args.inject_fault:
+        config = config.with_(fault_specs=tuple(args.inject_fault))
+    service = Service(config, workers=args.workers,
+                      queue_size=args.queue_size, seed=args.seed,
+                      default_deadline=args.deadline,
+                      default_max_instructions=args.max_instructions,
+                      pressure_high_water=args.pressure_high_water,
+                      persist_path=args.persist_cache)
+    profiler = None
+    if args.profile:
+        from repro.runtime.profiler import OpProfiler
+        profiler = OpProfiler()
+        service.attach_profiler(profiler)
+    print(f"repro serve: {args.workers} workers, queue "
+          f"{args.queue_size}, config {args.config} "
+          "(one JSON request per line; EOF or "
+          '{"op": "shutdown"} to stop)', file=sys.stderr)
+    try:
+        serve_jsonl(service, sys.stdin, sys.stdout)
+    except KeyboardInterrupt:
+        service.shutdown(drain=False)
+    if args.stats:
+        print(service.describe(), file=sys.stderr)
+    if profiler is not None:
+        print(profiler.report(), file=sys.stderr)
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"run": cmd_run, "recompute": cmd_recompute,
-                "inspect": cmd_inspect, "fuzz": cmd_fuzz}
+                "inspect": cmd_inspect, "fuzz": cmd_fuzz,
+                "serve": cmd_serve}
     return handlers[args.command](args)
 
 

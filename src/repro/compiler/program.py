@@ -10,6 +10,7 @@ tracing, deduplication, and block/function reuse.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.runtime.instructions.base import Instruction, Operand
@@ -133,6 +134,13 @@ class Program:
 
     blocks: list[ProgramBlock] = field(default_factory=list)
     functions: dict[str, FunctionProgram] = field(default_factory=dict)
+    #: guards on-demand builtin-function compilation into ``functions``.
+    #: Lives on the program (not the interpreter) because the service
+    #: shares one compiled Program across concurrent sessions — which is
+    #: also what makes block-level reuse keys (``id(block)``) line up
+    #: across sessions.
+    compile_lock: threading.Lock = field(default_factory=threading.Lock,
+                                         repr=False, compare=False)
 
     def all_blocks(self):
         """Yield every program block in the hierarchy (pre-order)."""

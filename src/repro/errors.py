@@ -96,5 +96,45 @@ class ParforError(LimaRuntimeError):
         self.causes = list(causes)
 
 
+class SessionAborted(LimaError):
+    """A session was terminated before its script finished.
+
+    Raised cooperatively at instruction boundaries (and inside parfor
+    workers, spill-retry backoffs, and placeholder waits).  Carries the
+    ``session_id``, wall-clock ``elapsed`` seconds, the number of
+    ``instructions`` retired, and — when the abort happened inside a
+    service executor — the ``partial_lineage`` traces (variable name ->
+    :class:`~repro.lineage.item.LineageItem`) of everything the session
+    had defined so far, so partial work remains replayable.
+    """
+
+    def __init__(self, message: str, session_id=None, elapsed: float = 0.0,
+                 instructions: int = 0, partial_lineage=None):
+        super().__init__(message)
+        self.session_id = session_id
+        self.elapsed = elapsed
+        self.instructions = instructions
+        self.partial_lineage = dict(partial_lineage or {})
+
+
+class DeadlineExceeded(SessionAborted):
+    """The session's wall-clock deadline (or instruction-count watchdog)
+    expired; other sessions sharing the cache are unaffected."""
+
+
+class SessionCancelled(SessionAborted):
+    """The session was cancelled by the client (or service shutdown)."""
+
+
+class ServiceOverloadedError(LimaError):
+    """Admission control rejected a request: the bounded queue was full
+    under backpressure, or an injected ``service.admit`` fault fired."""
+
+
+class ServiceClosedError(LimaError):
+    """The service is shutting down (or closed) and no longer accepts
+    new sessions."""
+
+
 class ResilienceWarning(RuntimeWarning):
     """Execution continued through a recovered fault or degradation."""

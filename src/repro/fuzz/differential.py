@@ -52,7 +52,13 @@ CONFIG_LATTICE: dict = {
         memory_budget=64 * 1024,
         fault_specs=("spill.read:corrupt:rate=0.3,seed=7",)),
     "verify": lambda: LimaConfig.hybrid().with_(verify_reuse=1.0),
+    # two concurrent service sessions share one reuse cache; both must
+    # still match the sequential base reference (the executor recognizes
+    # the "service-concurrent-N" name pattern and routes through Service)
+    "service-concurrent-2": LimaConfig.hybrid,
 }
+
+_SERVICE_CONFIG = re.compile(r"^service-concurrent-(\d+)$")
 
 
 @dataclass
@@ -92,6 +98,14 @@ def run_differential(source: str, outputs: list[str],
     for name, factory in configs.items():
         config = factory()
         exact = not config.reuse_partial
+        concurrent = _SERVICE_CONFIG.match(name)
+        if concurrent is not None:
+            failure = _run_service(name, config, source, outputs, seed,
+                                   reference, exact,
+                                   sessions=int(concurrent.group(1)))
+            if failure is not None:
+                return failure
+            continue
         session = LimaSession(config, seed=seed)
         try:
             for round_no in range(runs):
@@ -110,6 +124,40 @@ def run_differential(source: str, outputs: list[str],
             return DifferentialFailure(
                 name, "error", f"{type(exc).__name__}: {exc}",
                 error_type=type(exc).__name__)
+    return None
+
+
+def _run_service(name, config, source, outputs, seed, reference, exact,
+                 sessions=2):
+    """Run ``sessions`` concurrent service sessions over one shared
+    cache; every session's outputs must match the base reference."""
+    from repro.service.service import Service
+    service = Service(config, workers=max(2, sessions), seed=seed)
+    try:
+        handles = [service.submit(source, seed=seed)
+                   for _ in range(sessions)]
+        for handle in handles:
+            result = handle.result(timeout=300)
+            got = {o: result.get(o) for o in outputs}
+            failure = _compare_outputs(name, 0, reference, got, exact)
+            if failure is None:
+                failure = _compare_stdout(name, reference["stdout"],
+                                          result.stdout, exact)
+            if failure is not None:
+                failure.detail = (f"session {handle.session_id}: "
+                                  + failure.detail)
+                return failure
+        if service.cache is not None and service.cache.open_placeholders():
+            return DifferentialFailure(
+                name, "stats",
+                f"{len(service.cache.open_placeholders())} placeholder(s) "
+                "left open after all sessions drained")
+    except Exception as exc:
+        return DifferentialFailure(
+            name, "error", f"{type(exc).__name__}: {exc}",
+            error_type=type(exc).__name__)
+    finally:
+        service.shutdown()
     return None
 
 

@@ -288,6 +288,21 @@ class MemoryManager:
         io_time = candidate.size / max(self.backend.bandwidth, 1.0)
         return candidate.compute_time > io_time
 
+    def pressure(self) -> float:
+        """Instantaneous memory-pressure signal for admission control.
+
+        The ratio of charged bytes to the budget: ``>= 1.0`` means the
+        manager is at or over budget (eviction is working), ``inf``
+        once it has degraded to pass-through, ``0.0`` with no budget
+        configured (nothing to be under pressure about).
+        """
+        with self.lock:
+            if self.degraded:
+                return float("inf")
+            if self.budget <= 0:
+                return 0.0
+            return self._total / self.budget
+
     # ------------------------------------------------------------------
 
     def describe(self) -> str:

@@ -55,6 +55,8 @@ FAULT_POINTS = (
     "parfor.iteration",  # runtime/parfor.py: one parfor worker iteration
     "persist.save",      # reuse/persist.py: writing a cache archive
     "persist.load",      # reuse/persist.py: warm-starting from an archive
+    "service.admit",     # service/service.py: admitting a session request
+    "service.cancel",    # service/service.py: cancelling a session
 )
 
 #: seconds slept by the ``latency`` kind (small, deterministic)

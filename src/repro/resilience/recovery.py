@@ -68,10 +68,20 @@ class ResilienceManager:
     # the recovery log: session inputs referenced by lineage leaves
     # ------------------------------------------------------------------
 
-    def register_input(self, name: str, value) -> None:
-        """Remember a session input so lineage recovery can re-bind it."""
+    def register_input(self, name: str, value, token: str | None = None) -> None:
+        """Remember a session input so lineage recovery can re-bind it.
+
+        ``token`` is the full ``input``-leaf payload (``name:digest``)
+        when known.  Registering under the content-fingerprinted token as
+        well makes recovery correct across *service* sessions that bind
+        different arrays to the same input name: the digest-keyed entry
+        is preferred at recompute time, the bare name stays as the
+        single-session fallback.
+        """
         with self._lock:
             self._inputs[name] = value
+            if token is not None and token != name:
+                self._inputs[token] = value
 
     def register_inputs(self, mapping) -> None:
         with self._lock:
@@ -113,6 +123,10 @@ class ResilienceManager:
                     raise
                 attempt += 1
                 self.stats.spill_read_retries += 1
+                # a cancelled/expired session must not sit out the
+                # backoff ladder: check its budget between retries
+                from repro.service.budget import check_active_budget
+                check_active_budget()
                 time.sleep(delay)
                 delay *= 2
 
@@ -136,11 +150,17 @@ class ResilienceManager:
                 if node.opcode == "input":
                     name = node.data.split(":", 1)[0]
                     with self._lock:
-                        if name not in self._inputs:
+                        # prefer the content-fingerprinted token: under
+                        # the concurrent service, several sessions may
+                        # bind different arrays to the same name
+                        if node.data in self._inputs:
+                            inputs[name] = self._inputs[node.data]
+                        elif name in self._inputs:
+                            inputs[name] = self._inputs[name]
+                        else:
                             raise LimaError(
                                 f"input {name!r} is not registered for "
                                 "lineage recovery")
-                        inputs[name] = self._inputs[name]
             value = recompute(item, inputs)
         except Exception:
             self.stats.recompute_failures += 1

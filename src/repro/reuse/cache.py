@@ -29,6 +29,7 @@ behaviour behind Fig. 8(a).
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.config import LimaConfig
 from repro.data.values import MatrixValue, Value
@@ -58,12 +59,15 @@ class LineageCacheEntry:
 
     __slots__ = ("key", "output", "status", "compute_time", "height",
                  "last_access", "ref_hits", "ref_misses", "size",
-                 "spill_path", "_event")
+                 "spill_path", "owner", "_event")
 
     def __init__(self, key: LineageItem):
         self.key = key
         self.output: CachedOutput | None = None
         self.status = "placeholder"
+        # session label of the thread that fulfilled the entry (None for
+        # single-session use); lets the service count cross-session hits
+        self.owner = None
         self.compute_time = 0.0
         self.height = key.height
         self.last_access = 0
@@ -113,7 +117,33 @@ class LineageCache(MemoryRegion):
         resilience = self.memory.resilience
         self._probe_site = resilience.site("cache.probe")
         self._admit_site = resilience.site("cache.admit")
+        # per-thread session label for cross-session hit attribution;
+        # unset (None) outside a service executor
+        self._session = threading.local()
         self.memory.register_region(self)
+
+    def set_session(self, label):
+        """Tag this thread's cache traffic with a session label.
+
+        Entries fulfilled by the thread record the label as their owner;
+        hits on entries owned by a *different* label bump
+        ``stats.cross_session_hits``.  Returns the previous label so the
+        service executor can restore it when the session finishes.
+        """
+        previous = getattr(self._session, "label", None)
+        self._session.label = label
+        return previous
+
+    def _session_label(self):
+        return getattr(self._session, "label", None)
+
+    def _count_cross_session(self, entry: LineageCacheEntry) -> None:
+        # caller holds the lock and has just recorded a hit on `entry`
+        owner = entry.owner
+        if owner is not None:
+            label = getattr(self._session, "label", None)
+            if label is not None and label != owner:
+                self.stats.cross_session_hits += 1
 
     def _touch(self, entry: LineageCacheEntry) -> None:
         # caller holds the manager lock; bump the shared clock inline
@@ -155,6 +185,7 @@ class LineageCache(MemoryRegion):
                 entry.ref_hits += 1
                 if count:
                     self.stats.record_hit(item.opcode, entry.compute_time)
+                    self._count_cross_session(entry)
                 return entry.output
             if entry.status == "spilled":
                 output = self._restore(entry)
@@ -167,6 +198,7 @@ class LineageCache(MemoryRegion):
                 entry.ref_hits += 1
                 if count:
                     self.stats.record_hit(item.opcode, entry.compute_time)
+                    self._count_cross_session(entry)
                 return output
             entry.ref_misses += 1
             if count:
@@ -203,6 +235,7 @@ class LineageCache(MemoryRegion):
                 if entry.status == "cached":
                     entry.ref_hits += 1
                     self.stats.record_hit(item.opcode, entry.compute_time)
+                    self._count_cross_session(entry)
                     return "hit", entry.output
                 if entry.status == "spilled":
                     output = self._restore(entry)
@@ -210,6 +243,7 @@ class LineageCache(MemoryRegion):
                         entry.ref_hits += 1
                         self.stats.record_hit(item.opcode,
                                               entry.compute_time)
+                        self._count_cross_session(entry)
                         return "hit", output
                     # unrecoverable spill: reuse the entry as a fresh
                     # reservation, exactly like the evicted branch
@@ -233,36 +267,67 @@ class LineageCache(MemoryRegion):
             self._map[item] = entry
             return "reserved", None
 
-    def wait_for(self, entry: LineageCacheEntry,
-                 timeout: float = 300.0) -> CachedOutput | None:
-        """Block until a placeholder is fulfilled (or aborted)."""
+    def wait_for(self, entry: LineageCacheEntry, timeout: float = 300.0,
+                 budget=None) -> CachedOutput | None:
+        """Block until a placeholder is fulfilled (or aborted).
+
+        Returns ``None`` when the producer aborted (failed, crashed, was
+        cancelled) — the waiter then recomputes the value itself (a
+        *placeholder rescue*).  With a :class:`RequestBudget` — passed
+        explicitly or installed on the thread via
+        :func:`~repro.service.budget.activate_budget` — the wait is
+        sliced so the waiter's own deadline/cancellation still fires
+        while it is blocked on another session's placeholder.
+        """
         with self._lock:
             self.stats.placeholder_waits += 1
             if entry.status == "cached":
                 # fulfilled between acquire() and wait_for()
                 self.stats.record_hit(entry.key.opcode, entry.compute_time)
                 entry.ref_hits += 1
+                self._count_cross_session(entry)
                 return entry.output
             if entry.status != "placeholder":
+                self.stats.placeholder_rescues += 1
                 return None
             # materialize the event under the lock so the producer's
             # signal() cannot race with its lazy construction
             event = entry.event
-        if not event.wait(timeout):
+        if budget is None:
+            from repro.service.budget import active_budget
+            budget = active_budget()
+        if budget is None:
+            fulfilled = event.wait(timeout)
+        else:
+            # sliced wait: re-check the waiter's budget every slice so a
+            # deadline or client cancel interrupts the wait promptly
+            deadline = time.monotonic() + timeout
+            fulfilled = event.is_set()
+            while not fulfilled:
+                budget.check()
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                fulfilled = event.wait(min(0.05, remaining))
+        if not fulfilled:
             raise ReuseError("timed out waiting on a lineage cache "
                              "placeholder (possible deadlock)")
         with self._lock:
             if entry.status == "cached":
                 self.stats.record_hit(entry.key.opcode, entry.compute_time)
                 entry.ref_hits += 1
+                self._count_cross_session(entry)
                 return entry.output
             if entry.status == "spilled":
                 output = self._restore(entry)
                 if output is None:
+                    self.stats.placeholder_rescues += 1
                     return None  # waiter recomputes, like an abort
                 self.stats.record_hit(entry.key.opcode, 0.0)
                 entry.ref_hits += 1
+                self._count_cross_session(entry)
                 return output
+            self.stats.placeholder_rescues += 1
             return None
 
     # ------------------------------------------------------------------
@@ -288,29 +353,38 @@ class LineageCache(MemoryRegion):
                     self.stats.rejected += 1
                     self._drop_placeholder(item)
                 return
-        size = value.nbytes()
-        with self._lock:
-            budget = self.memory.budget
-            if self.memory.degraded or budget <= 0 or size > budget:
-                self.stats.rejected += 1
-                self._drop_placeholder(item)
-                return
-            entry = self._map.get(item)
-            if entry is None:
-                entry = LineageCacheEntry(item)
-                self._map[item] = entry
-            if entry.status in ("cached", "spilled"):
+        try:
+            size = value.nbytes()
+            with self._lock:
+                budget = self.memory.budget
+                if self.memory.degraded or budget <= 0 or size > budget:
+                    self.stats.rejected += 1
+                    self._drop_placeholder(item)
+                    return
+                entry = self._map.get(item)
+                if entry is None:
+                    entry = LineageCacheEntry(item)
+                    self._map[item] = entry
+                if entry.status in ("cached", "spilled"):
+                    entry.signal()
+                    return  # already present (racing workers)
+                entry.output = CachedOutput(value, lineage)
+                entry.status = "cached"
+                entry.compute_time = max(compute_time, entry.compute_time)
+                entry.size = size
+                entry.owner = self._session_label()
+                self._touch(entry)
+                self.memory.charge(value, size, id(entry))
+                self.stats.puts += 1
                 entry.signal()
-                return  # already present (racing workers)
-            entry.output = CachedOutput(value, lineage)
-            entry.status = "cached"
-            entry.compute_time = max(compute_time, entry.compute_time)
-            entry.size = size
-            self._touch(entry)
-            self.memory.charge(value, size, id(entry))
-            self.stats.puts += 1
-            entry.signal()
-            self.memory.evict_to_fit()
+                self.memory.evict_to_fit()
+        except BaseException:
+            # never leave a reservation behind: any unexpected failure
+            # while admitting (sizing, charging, eviction) would
+            # otherwise orphan the placeholder and hang waiters
+            with self._lock:
+                self._drop_placeholder(item)
+            raise
 
     def put(self, item: LineageItem, value: Value,
             lineage: LineageItem | None, compute_time: float) -> None:
@@ -452,6 +526,13 @@ class LineageCache(MemoryRegion):
     def entries(self) -> list[LineageCacheEntry]:
         with self._lock:
             return list(self._map.values())
+
+    def open_placeholders(self) -> list[LineageCacheEntry]:
+        """Entries still in placeholder state (should be empty once all
+        sessions have drained — anything here is a leaked reservation)."""
+        with self._lock:
+            return [e for e in self._map.values()
+                    if e.status == "placeholder"]
 
     def clear(self) -> None:
         backend = self.memory.backend

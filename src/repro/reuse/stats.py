@@ -70,6 +70,11 @@ class CacheStats:
     partial_hits: int = 0
     multilevel_hits: int = 0
     placeholder_waits: int = 0
+    #: hits on entries fulfilled by a *different* service session
+    cross_session_hits: int = 0
+    #: placeholder waits resolved by recomputing because the producer
+    #: aborted (crashed, was cancelled, or hit its deadline)
+    placeholder_rescues: int = 0
     #: seconds of measured compute time saved by full reuse hits
     saved_compute_time: float = 0.0
     #: seconds spent on spill writes / restores

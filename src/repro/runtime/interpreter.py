@@ -75,10 +75,15 @@ class Interpreter:
                  cache: LineageCache | None = None,
                  output: list[str] | None = None,
                  base_seed: int = 42,
-                 pool=None, memory=None, resilience=None, verifier=None):
+                 pool=None, memory=None, resilience=None, verifier=None,
+                 budget=None):
         config.validate()
         self.program = program
         self.config = config
+        #: optional RequestBudget: deadline/cancellation checks are
+        #: compiled into the dispatch handlers only when one is armed,
+        #: so unbudgeted runs keep the bare hot path
+        self.budget = budget
         if cache is not None:
             self.cache = cache
         elif config.reuse_enabled:
@@ -126,8 +131,6 @@ class Interpreter:
         self.verifier = verifier
         #: armed exec.instruction fault site (None = zero-cost hot path)
         self._exec_site = resilience.site("exec.instruction")
-        import threading
-        self._compile_lock = threading.Lock()
         # dedup trackers persist per loop block, so re-entering a loop
         # (e.g. per epoch) reuses its lineage patches instead of re-tracing
         self._dedup_trackers: dict[int, DedupTracker] = {}
@@ -240,7 +243,7 @@ class Interpreter:
             value = ctx.symbols.get_or_none(name)
             root = ctx.lineage.get_or_none(name)
             if value is not None and root is not None:
-                self.cache.put(item, value, root, elapsed)
+                self._admit(item, value, root, elapsed)
         return True
 
     # ------------------------------------------------------------------
@@ -291,19 +294,37 @@ class Interpreter:
     def _compile_handler(self, inst):
         """Bind one instruction to a specialized execution closure.
 
-        The ``exec.instruction`` fault site is resolved here, at compile
-        time: unarmed interpreters (the only kind outside chaos testing)
-        get the bare handler with no per-execution check at all.
+        The ``exec.instruction`` fault site and the session's
+        :class:`RequestBudget` are resolved here, at compile time:
+        unarmed, unbudgeted interpreters (the only kind outside chaos
+        testing and the service) get the bare handler with no
+        per-execution check at all.  With a budget, every instruction
+        boundary is a cooperative cancellation point: ``tick`` counts
+        the instruction and raises ``DeadlineExceeded`` /
+        ``SessionCancelled`` when the budget has tripped.
         """
         handler = self._build_handler(inst)
         site = self._exec_site
-        if site is None:
+        budget = self.budget
+        if site is None and budget is None:
             return handler
+        if budget is None:
+            def run_with_fault(ctx):
+                site.fire()
+                handler(ctx)
+            return run_with_fault
+        tick = budget.tick
+        if site is None:
+            def run_budgeted(ctx):
+                tick()
+                handler(ctx)
+            return run_budgeted
 
-        def run_with_fault(ctx):
+        def run_guarded(ctx):
+            tick()
             site.fire()
             handler(ctx)
-        return run_with_fault
+        return run_guarded
 
     def _build_handler(self, inst):
         """Specialize one instruction's execution closure.
@@ -511,6 +532,8 @@ class Interpreter:
         semantically identical.
         """
         try:
+            if self.budget is not None:
+                self.budget.tick()
             if self._exec_site is not None:
                 self._exec_site.fire()
             self._execute_instruction(ctx, inst)
@@ -586,7 +609,7 @@ class Interpreter:
             self._bind_lineage(ctx, out, payload.lineage or item)
             return
         if status == "wait":
-            result = self.cache.wait_for(payload)
+            result = self.cache.wait_for(payload, budget=self.budget)
             if result is not None:
                 if self.verifier is not None:
                     self.verifier.check("full", item, result.value,
@@ -611,17 +634,35 @@ class Interpreter:
                         self.verifier.check("partial", item, partial)
                     ctx.symbols.set(out, partial)
                     self._bind_lineage(ctx, out, item)
-                    self.cache.fulfill(item, partial, item, elapsed)
+                    self._admit(item, partial, item, elapsed, reserved=True)
                     return
             start = time.perf_counter()
             inst.execute(ctx, state)
             elapsed = time.perf_counter() - start
+            # the output fetch and admission stay inside the guard: a
+            # buffer-pool restore failure (or a budget trip) after the
+            # kernel used to orphan the placeholder and hang waiters
+            value = ctx.symbols.get(out)
+            self._bind_lineage(ctx, out, item)
+            self._admit(item, value, item, elapsed, reserved=True)
         except BaseException:
+            # abort is a no-op once the entry is fulfilled, so this is
+            # safe wherever the exception originated
             self.cache.abort(item)
             raise
-        value = ctx.symbols.get(out)
-        self._bind_lineage(ctx, out, item)
-        self.cache.fulfill(item, value, item, elapsed)
+
+    def _admit(self, item, value, root, elapsed, reserved=False) -> None:
+        """Admit a computed value, honoring the session's memory share.
+
+        When the per-session share is spent the value is simply not
+        cached — a held reservation is aborted so waiters recompute.
+        """
+        budget = self.budget
+        if budget is not None and not budget.allow_admission(value.nbytes()):
+            if reserved:
+                self.cache.abort(item)
+            return
+        self.cache.fulfill(item, value, root, elapsed)
 
     def _execute_multireturn_with_reuse(self, ctx, inst, state,
                                         items) -> None:
@@ -646,7 +687,7 @@ class Interpreter:
             value = ctx.symbols.get_or_none(name)
             self._bind_lineage(ctx, name, item)
             if value is not None:
-                self.cache.put(item, value, item, elapsed)
+                self._admit(item, value, item, elapsed)
 
     def _record_leftindex(self, ctx, inst: LeftIndexInstruction,
                           items) -> None:
@@ -674,7 +715,10 @@ class Interpreter:
         if func is not None:
             return func
         from repro.compiler.compiler import compile_function_into
-        with self._compile_lock:
+        # the lock lives on the (possibly shared) Program: concurrent
+        # sessions running the same compiled script must not race on its
+        # function dictionary
+        with self.program.compile_lock:
             func = self.program.functions.get(name)
             if func is None:
                 func = compile_function_into(self.program, name, self.config)
@@ -752,7 +796,7 @@ class Interpreter:
                 value = frame.symbols.get_or_none(fo)
                 root = frame.lineage.get_or_none(fo)
                 if value is not None and root is not None:
-                    self.cache.put(out_items[fo], value, root, elapsed)
+                    self._admit(out_items[fo], value, root, elapsed)
 
     def execute_eval(self, ctx: ExecutionContext,
                      inst: EvalInstruction) -> None:
@@ -872,7 +916,10 @@ class Interpreter:
         if self._dedup_applies(ctx, block):
             self._execute_loop_dedup(ctx, block, values)
             return
+        budget = self.budget
         for value in values:
+            if budget is not None:
+                budget.check()
             self._bind_loop_var(ctx, block.var, value)
             self.execute_blocks(ctx, block.body)
 
@@ -881,7 +928,12 @@ class Interpreter:
         if self._dedup_applies(ctx, block):
             self._execute_while_dedup(ctx, block)
             return
+        budget = self.budget
         while True:
+            # loop-head budget check: guarantees a cancellation point per
+            # iteration even when the condition block compiles to nothing
+            if budget is not None:
+                budget.check()
             self._execute_raw(ctx, block.cond_block)
             taken = K.as_scalar(block.pred.resolve(ctx)).as_bool()
             self._cleanup_temp(ctx, block.pred)
@@ -911,7 +963,10 @@ class Interpreter:
                 self.execute_blocks(ctx, block.body)
             return
         tracker = self._tracker_for(block, input_names)
+        budget = self.budget
         for value in values:
+            if budget is not None:
+                budget.check()
             self._dedup_iteration(ctx, tracker, block, block.var, value)
         self._bind_loop_var(ctx, block.var, values[-1])
 
@@ -922,7 +977,10 @@ class Interpreter:
             self.execute_while_plain(ctx, block)
             return
         tracker = self._tracker_for(block, input_names)
+        budget = self.budget
         while True:
+            if budget is not None:
+                budget.check()
             self._execute_raw(ctx, block.cond_block)
             taken = K.as_scalar(block.pred.resolve(ctx)).as_bool()
             self._cleanup_temp(ctx, block.pred)
@@ -932,7 +990,10 @@ class Interpreter:
 
     def execute_while_plain(self, ctx: ExecutionContext,
                             block: WhileBlock) -> None:
+        budget = self.budget
         while True:
+            if budget is not None:
+                budget.check()
             self._execute_raw(ctx, block.cond_block)
             taken = K.as_scalar(block.pred.resolve(ctx)).as_bool()
             self._cleanup_temp(ctx, block.pred)

@@ -36,10 +36,11 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING
 
 from repro.data.values import MatrixValue, ScalarValue
-from repro.errors import LimaRuntimeError, ParforError
+from repro.errors import LimaRuntimeError, ParforError, SessionAborted
 from repro.lineage.item import LineageItem
 from repro.runtime import kernels as K
 from repro.runtime.context import ExecutionContext
+from repro.service.budget import activate_budget
 
 if TYPE_CHECKING:
     from repro.compiler.program import ForBlock
@@ -69,16 +70,26 @@ def execute_parfor(interpreter: "Interpreter", ctx: ExecutionContext,
             wctx.lineage.set(block.var, wctx.lineage.literal(scalar))
         return wctx
 
+    budget = interpreter.budget
+
     def attempt(k: int) -> ExecutionContext | Exception:
         """Run one iteration; its outcome is the context or the error."""
-        wctx = fresh_context(k)
+        # re-activate the owning session's budget on this worker thread,
+        # so spill waits and placeholder waits deep inside the iteration
+        # observe the session's deadline/cancellation
+        previous = activate_budget(budget)
         try:
+            if budget is not None:
+                budget.check()
+            wctx = fresh_context(k)
             if site is not None:
                 site.fire()
             interpreter.execute_blocks(wctx, block.body)
             return wctx
         except Exception as exc:
             return exc
+        finally:
+            activate_budget(previous)
 
     def sweep(indices: list[int]) -> list:
         if workers <= 1 or len(indices) <= 1:
@@ -86,7 +97,15 @@ def execute_parfor(interpreter: "Interpreter", ctx: ExecutionContext,
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(attempt, indices))
 
+    def check_aborted(outcome_list: list) -> None:
+        # a tripped budget is not a fault to retry: surface it now so the
+        # session unwinds (releasing its placeholders on the way out)
+        for outcome in outcome_list:
+            if isinstance(outcome, SessionAborted):
+                raise outcome
+
     outcomes: list = sweep(list(range(n)))
+    check_aborted(outcomes)
     failed = [k for k in range(n)
               if not isinstance(outcomes[k], ExecutionContext)]
 
@@ -100,6 +119,7 @@ def execute_parfor(interpreter: "Interpreter", ctx: ExecutionContext,
             outcomes[k] = outcome
             if isinstance(outcome, ExecutionContext) and stats is not None:
                 stats.parfor_recovered += 1
+        check_aborted(outcomes)
         failed = [k for k in failed
                   if not isinstance(outcomes[k], ExecutionContext)]
 
@@ -112,6 +132,7 @@ def execute_parfor(interpreter: "Interpreter", ctx: ExecutionContext,
             outcomes[k] = outcome
             if isinstance(outcome, ExecutionContext) and stats is not None:
                 stats.parfor_recovered += 1
+        check_aborted(outcomes)
         failed = [k for k in failed
                   if not isinstance(outcomes[k], ExecutionContext)]
 

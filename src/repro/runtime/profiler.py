@@ -60,6 +60,23 @@ class OpProfiler:
         table = self.cache_hits if hit else self.cache_misses
         table[opcode] = table.get(opcode, 0) + 1
 
+    def merge(self, other: "OpProfiler") -> None:
+        """Fold another profiler's counters into this one.
+
+        The service gives each session a private profiler (dict counter
+        increments are not atomic across threads) and merges it into the
+        master under the service lock when the session completes.
+        """
+        for opcode, count in other.op_count.items():
+            self.op_count[opcode] = self.op_count.get(opcode, 0) + count
+        for opcode, seconds in other.op_time.items():
+            self.op_time[opcode] = self.op_time.get(opcode, 0.0) + seconds
+        for opcode, count in other.cache_hits.items():
+            self.cache_hits[opcode] = self.cache_hits.get(opcode, 0) + count
+        for opcode, count in other.cache_misses.items():
+            self.cache_misses[opcode] = \
+                self.cache_misses.get(opcode, 0) + count
+
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------

@@ -7,6 +7,13 @@ multi-level redundancy — that LIMA exploits.
 
 :func:`lookup_builtin_function` returns the parsed ``FuncDef`` for a name,
 parsing each script source at most once per process.
+
+Concurrency: the registry is scanned once behind a lock, then *published*
+by swapping in a fully built dict and setting the scanned flag last.
+After publication every lookup is a plain (GIL-atomic) dict read with no
+lock at all, so concurrent service sessions resolving builtins never
+serialize on a global lock — the previous design took a module lock on
+every single lookup.
 """
 
 from __future__ import annotations
@@ -17,32 +24,38 @@ from repro.lang import ast, parse
 from repro.scripts import builtins as _builtins
 
 _PARSED: dict[str, ast.FuncDef] = {}
-_LOCK = threading.Lock()
+#: guards only the one-time scan, never steady-state lookups
+_SCAN_LOCK = threading.Lock()
 _SOURCES_SCANNED = False
 
 
-def _scan_sources() -> None:
-    global _SOURCES_SCANNED
-    if _SOURCES_SCANNED:
+def _ensure_scanned() -> None:
+    global _PARSED, _SOURCES_SCANNED
+    if _SOURCES_SCANNED:  # lock-free fast path after publication
         return
-    for source in _builtins.SOURCES:
-        script = parse(source)
-        for name, fdef in script.functions.items():
-            _PARSED.setdefault(name, fdef)
-    _SOURCES_SCANNED = True
+    with _SCAN_LOCK:
+        if _SOURCES_SCANNED:
+            return
+        parsed: dict[str, ast.FuncDef] = {}
+        for source in _builtins.SOURCES:
+            script = parse(source)
+            for name, fdef in script.functions.items():
+                parsed.setdefault(name, fdef)
+        # publish the complete dict before the flag: a racing reader that
+        # sees _SOURCES_SCANNED=True is guaranteed the full registry
+        _PARSED = parsed
+        _SOURCES_SCANNED = True
 
 
 def lookup_builtin_function(name: str) -> ast.FuncDef | None:
     """Parsed AST of a builtin script function, or None if unknown."""
-    with _LOCK:
-        _scan_sources()
-        return _PARSED.get(name)
+    _ensure_scanned()
+    return _PARSED.get(name)
 
 
 def builtin_function_names() -> list[str]:
-    with _LOCK:
-        _scan_sources()
-        return sorted(_PARSED)
+    _ensure_scanned()
+    return sorted(_PARSED)
 
 
 def builtin_source(name: str) -> str | None:

@@ -1,0 +1,27 @@
+"""Concurrent session service over one shared reuse cache.
+
+``repro.service.budget`` is imported by core runtime modules (the
+interpreter and parfor arm per-session budgets), so this package keeps
+its import footprint tiny: :class:`Service` — which pulls in the whole
+runtime — is exported lazily via module ``__getattr__``.
+"""
+
+from repro.service.budget import (RequestBudget, activate_budget,
+                                  active_budget, check_active_budget)
+from repro.service.stats import ServiceStats, SessionStats
+
+__all__ = [
+    "RequestBudget", "activate_budget", "active_budget",
+    "check_active_budget", "ServiceStats", "SessionStats",
+    "Service", "SessionHandle", "SessionResult", "serve_jsonl",
+]
+
+
+def __getattr__(name):
+    if name in ("Service", "SessionHandle", "SessionResult"):
+        from repro.service import service
+        return getattr(service, name)
+    if name == "serve_jsonl":
+        from repro.service.server import serve_jsonl
+        return serve_jsonl
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

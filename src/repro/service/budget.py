@@ -1,0 +1,174 @@
+"""Per-session request budgets: deadlines, watchdogs, cancellation.
+
+A :class:`RequestBudget` is the cooperative-cancellation contract between
+the service and the runtime: the interpreter calls :meth:`RequestBudget.tick`
+at every instruction boundary (compiled into the dispatch handler only when
+a budget is armed, so unbudgeted runs pay nothing), and long waits — cache
+placeholder waits, spill-read retry backoffs, parfor iterations — call
+:meth:`RequestBudget.check` between slices.  A tripped budget raises a
+structured :class:`~repro.errors.DeadlineExceeded` or
+:class:`~repro.errors.SessionCancelled`; the service layer attaches the
+session's partial lineage before re-raising to the client.
+
+Shared code that cannot receive the budget by parameter (buffer-pool
+restores, recovery backoffs deep inside the cache) reads it from a
+thread-local set by :func:`activate_budget` for the duration of a
+session's execution — including parfor worker threads, which re-activate
+the owning session's budget.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import DeadlineExceeded, SessionCancelled
+
+_ACTIVE = threading.local()
+
+
+def activate_budget(budget: "RequestBudget | None") -> "RequestBudget | None":
+    """Install ``budget`` as this thread's active budget.
+
+    Returns the previously active budget so callers can restore it in a
+    ``finally`` block (sessions may nest, e.g. oracle recomputes inside a
+    budgeted run).
+    """
+    previous = getattr(_ACTIVE, "budget", None)
+    _ACTIVE.budget = budget
+    return previous
+
+
+def active_budget() -> "RequestBudget | None":
+    """The budget installed on this thread, or ``None``."""
+    return getattr(_ACTIVE, "budget", None)
+
+
+def check_active_budget() -> None:
+    """Raise if this thread's active budget (if any) has tripped."""
+    budget = getattr(_ACTIVE, "budget", None)
+    if budget is not None:
+        budget.check()
+
+
+class RequestBudget:
+    """Wall-clock deadline, instruction watchdog, and memory share for
+    one session.
+
+    The deadline clock starts at :meth:`start` (the service calls it at
+    submission, so queue wait counts against the deadline); ``tick`` and
+    ``check`` are safe before ``start`` — they simply start the clock.
+    The instruction counter is incremented without a lock: parfor workers
+    may race on it, so it is approximate under parallelism, which is fine
+    for a watchdog.  ``cancel`` may be called from any thread.
+    """
+
+    __slots__ = ("deadline", "max_instructions", "memory_share",
+                 "session_id", "started_at", "instructions",
+                 "admitted_bytes", "_deadline_at", "_cancel_reason")
+
+    def __init__(self, deadline: float | None = None,
+                 max_instructions: int | None = None,
+                 memory_share: int | None = None,
+                 session_id=None):
+        if deadline is not None and deadline < 0:
+            raise ValueError(f"deadline must be >= 0, got {deadline!r}")
+        if max_instructions is not None and max_instructions < 0:
+            raise ValueError("max_instructions must be >= 0, got "
+                             f"{max_instructions!r}")
+        self.deadline = deadline
+        self.max_instructions = max_instructions
+        self.memory_share = memory_share
+        self.session_id = session_id
+        self.started_at: float | None = None
+        self.instructions = 0
+        self.admitted_bytes = 0
+        self._deadline_at: float | None = None
+        self._cancel_reason: str | None = None
+
+    def start(self) -> "RequestBudget":
+        """Start the deadline clock (idempotent)."""
+        if self.started_at is None:
+            self.started_at = time.monotonic()
+            if self.deadline is not None:
+                self._deadline_at = self.started_at + self.deadline
+        return self
+
+    def cancel(self, reason: str = "cancelled by client") -> None:
+        """Request cooperative cancellation; takes effect at the
+        session's next instruction boundary or wait slice."""
+        self._cancel_reason = reason
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancel_reason is not None
+
+    def elapsed(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        return time.monotonic() - self.started_at
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline, or ``None`` when unbounded.
+        Never negative."""
+        if self._deadline_at is None:
+            if self.deadline is not None and self.started_at is None:
+                return self.deadline
+            return None
+        return max(0.0, self._deadline_at - time.monotonic())
+
+    def expired(self) -> bool:
+        return self._deadline_at is not None \
+            and time.monotonic() >= self._deadline_at
+
+    def _abort(self, exc_type, detail: str):
+        raise exc_type(
+            f"session{f' {self.session_id}' if self.session_id else ''} "
+            f"{detail} after {self.elapsed():.3f}s "
+            f"({self.instructions} instructions)",
+            session_id=self.session_id, elapsed=self.elapsed(),
+            instructions=self.instructions)
+
+    def check(self) -> None:
+        """Raise :class:`SessionCancelled` / :class:`DeadlineExceeded`
+        if the budget has tripped.  Does not count an instruction."""
+        if self._cancel_reason is not None:
+            self._abort(SessionCancelled, self._cancel_reason)
+        if self.started_at is None:
+            self.start()
+        if self._deadline_at is not None \
+                and time.monotonic() >= self._deadline_at:
+            self._abort(DeadlineExceeded,
+                        f"exceeded its {self.deadline:g}s deadline")
+        if self.max_instructions is not None \
+                and self.instructions > self.max_instructions:
+            self._abort(DeadlineExceeded,
+                        "exceeded its instruction watchdog of "
+                        f"{self.max_instructions}")
+
+    def tick(self) -> None:
+        """One instruction boundary: count it and check the budget."""
+        self.instructions += 1
+        self.check()
+
+    def allow_admission(self, nbytes: int) -> bool:
+        """Charge ``nbytes`` against the session's cache-memory share.
+
+        Returns ``False`` (and charges nothing) once the share is spent;
+        the producer then aborts its placeholder instead of caching.
+        Unlimited when no ``memory_share`` was set.
+        """
+        if self.memory_share is None:
+            return True
+        if self.admitted_bytes + nbytes > self.memory_share:
+            return False
+        self.admitted_bytes += nbytes
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RequestBudget(session_id={self.session_id!r}, "
+                f"deadline={self.deadline}, "
+                f"max_instructions={self.max_instructions}, "
+                f"memory_share={self.memory_share}, "
+                f"instructions={self.instructions}, "
+                f"cancelled={self.cancelled})")

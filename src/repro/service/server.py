@@ -1,0 +1,157 @@
+"""The ``repro serve`` request loop: JSON lines in, JSON lines out.
+
+One request per line on the input stream, one response per line on the
+output stream.  Responses are written as sessions *complete*, so they
+are not ordered like the requests — every response carries the ``id``
+of the session it answers.
+
+Request shapes::
+
+    {"script": "y = x + 1; print(y);", "id": "s1",
+     "inputs": {"x": 2.0}, "outputs": ["y"],
+     "deadline": 5.0, "max_instructions": 100000,
+     "memory_share": 104857600, "seed": 7}
+    {"op": "cancel", "id": "s1", "reason": "user abort"}
+    {"op": "stats"}
+    {"op": "shutdown"}           # drain in-flight sessions, then exit
+
+Matrix inputs are nested lists; matrix outputs come back the same way.
+A malformed line yields an ``{"ok": false, ...}`` response instead of
+killing the loop — the server must outlive bad clients.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.errors import (DeadlineExceeded, LimaError, SessionCancelled)
+from repro.service.service import Service, SessionHandle
+
+
+def _export(value):
+    """JSON-encodable view of one output value."""
+    import numpy as np
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    return value
+
+
+def _import_inputs(inputs: dict | None) -> dict:
+    """Decode request inputs: nested lists become float matrices."""
+    import numpy as np
+    decoded = {}
+    for name, value in (inputs or {}).items():
+        if isinstance(value, list):
+            decoded[name] = np.asarray(value, dtype=float)
+        else:
+            decoded[name] = value
+    return decoded
+
+
+def _error_kind(exc: BaseException) -> str:
+    if isinstance(exc, DeadlineExceeded):
+        return "deadline"
+    if isinstance(exc, SessionCancelled):
+        return "cancelled"
+    if isinstance(exc, LimaError):
+        return "error"
+    return "internal"
+
+
+def _completion(handle: SessionHandle, outputs) -> dict:
+    """The response payload for one finished session."""
+    stats = handle.stats
+    if handle.error is not None:
+        exc = handle.error
+        return {"ok": False, "id": handle.session_id,
+                "kind": _error_kind(exc), "error": str(exc),
+                "stats": stats.snapshot()}
+    result = handle.result()
+    names = outputs if outputs is not None else result.variables()
+    values = {}
+    for name in names:
+        try:
+            values[name] = _export(result.get(name))
+        except LimaError as exc:
+            values[name] = f"<unavailable: {exc}>"
+    return {"ok": True, "id": handle.session_id, "outputs": values,
+            "stdout": result.stdout, "stats": stats.snapshot()}
+
+
+def serve_jsonl(service: Service, instream, outstream) -> None:
+    """Run the request loop until EOF or a ``shutdown`` request.
+
+    Completion responses are emitted from worker callbacks, so a slow
+    session never blocks responses for fast ones; a write lock keeps
+    concurrently finishing sessions from interleaving lines.
+    """
+    write_lock = threading.Lock()
+    pending = threading.Semaphore(0)
+    inflight = [0]
+
+    def emit(payload: dict) -> None:
+        with write_lock:
+            outstream.write(json.dumps(payload) + "\n")
+            outstream.flush()
+
+    def on_done_factory(outputs):
+        def on_done(handle: SessionHandle) -> None:
+            emit(_completion(handle, outputs))
+            pending.release()
+        return on_done
+
+    for line in instream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+        except ValueError as exc:
+            emit({"ok": False, "kind": "bad-request",
+                  "error": f"not valid JSON: {exc}"})
+            continue
+        op = request.get("op", "run")
+        try:
+            if op == "run" or "script" in request:
+                handle = service.submit(
+                    request["script"],
+                    inputs=_import_inputs(request.get("inputs")),
+                    outputs=request.get("outputs"),
+                    deadline=request.get("deadline"),
+                    max_instructions=request.get("max_instructions"),
+                    memory_share=request.get("memory_share"),
+                    session_id=request.get("id"),
+                    seed=request.get("seed"),
+                    block=bool(request.get("block", True)))
+                inflight[0] += 1
+                handle.add_done_callback(
+                    on_done_factory(request.get("outputs")))
+            elif op == "cancel":
+                found = service.cancel(request["id"],
+                                       request.get("reason",
+                                                   "cancelled by client"))
+                emit({"ok": True, "op": "cancel", "id": request["id"],
+                      "found": found})
+            elif op == "stats":
+                snap = service.service_stats()
+                emit({"ok": True, "op": "stats",
+                      "stats": snap.snapshot(),
+                      "describe": service.describe()})
+            elif op == "shutdown":
+                break
+            else:
+                emit({"ok": False, "kind": "bad-request",
+                      "error": f"unknown op {op!r}"})
+        except LimaError as exc:
+            emit({"ok": False, "id": request.get("id"),
+                  "kind": "rejected", "error": str(exc)})
+        except KeyError as exc:
+            emit({"ok": False, "kind": "bad-request",
+                  "error": f"missing field {exc}"})
+    # drain: every accepted session still owes its completion response
+    for _ in range(inflight[0]):
+        pending.acquire()
+    service.shutdown(drain=True)

@@ -1,0 +1,91 @@
+"""Service- and session-level statistics.
+
+:class:`ServiceStats` aggregates across the whole service lifetime;
+:class:`SessionStats` describes one request.  Cache-side counters that
+the service surfaces (cross-session hit rate, placeholder rescues) live
+in :class:`~repro.reuse.stats.CacheStats` — the service report reads
+them from the shared cache at snapshot time, so there is exactly one
+source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SessionStats:
+    """Per-session accounting, attached to every session handle."""
+
+    session_id: str = ""
+    #: seconds between submission and a worker picking the session up
+    queue_wait: float = 0.0
+    #: seconds of actual execution (compile + run)
+    run_time: float = 0.0
+    #: instruction boundaries retired (approximate under parfor)
+    instructions: int = 0
+    #: ``ok`` / ``deadline`` / ``cancelled`` / ``error`` / ``rejected``
+    outcome: str = ""
+    #: True when admission degraded this session to pass-through caching
+    passthrough: bool = False
+    #: bytes this session admitted into the shared cache
+    admitted_bytes: int = 0
+
+    def snapshot(self) -> dict:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters of a :class:`~repro.service.Service`."""
+
+    submitted: int = 0
+    admitted: int = 0
+    #: rejected by backpressure (bounded queue full under pressure)
+    rejected_queue_full: int = 0
+    #: rejected by an injected ``service.admit`` fault
+    rejected_fault: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: sessions that ended in DeadlineExceeded
+    deadline_hits: int = 0
+    #: sessions that ended in SessionCancelled
+    cancellations: int = 0
+    #: sessions degraded to pass-through caching at admission
+    passthrough_sessions: int = 0
+    queue_wait_total: float = 0.0
+    queue_wait_max: float = 0.0
+    #: mirrored from the shared cache at snapshot time
+    cross_session_hits: int = 0
+    placeholder_rescues: int = 0
+    cache_hits: int = 0
+    cache_probes: int = 0
+
+    def snapshot(self) -> dict:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+    @property
+    def rejected(self) -> int:
+        return self.rejected_queue_full + self.rejected_fault
+
+    def cross_session_hit_rate(self) -> float:
+        """Cross-session hits as a fraction of all cache hits."""
+        if self.cache_hits <= 0:
+            return 0.0
+        return self.cross_session_hits / self.cache_hits
+
+    def __str__(self) -> str:
+        waits = (self.queue_wait_total / self.admitted
+                 if self.admitted else 0.0)
+        return (f"ServiceStats(submitted={self.submitted}, "
+                f"admitted={self.admitted}, rejected={self.rejected}, "
+                f"completed={self.completed}, failed={self.failed}, "
+                f"deadline_hits={self.deadline_hits}, "
+                f"cancellations={self.cancellations}, "
+                f"passthrough={self.passthrough_sessions}, "
+                f"queue_wait_mean={waits:.4f}s/"
+                f"max={self.queue_wait_max:.4f}s, "
+                f"cross_session_hits={self.cross_session_hits}"
+                f"/{self.cache_hits} hits "
+                f"({self.cross_session_hit_rate():.0%}), "
+                f"placeholder_rescues={self.placeholder_rescues})")

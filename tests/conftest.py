@@ -1,9 +1,78 @@
-"""Shared fixtures for the LIMA reproduction test suite."""
+"""Shared fixtures for the LIMA reproduction test suite.
+
+Also provides the per-test hang guard: the ``timeout`` ini option (and
+``@pytest.mark.timeout(seconds)`` overrides) are honoured by
+pytest-timeout when it is installed; otherwise a faulthandler-based
+fallback arms :func:`faulthandler.dump_traceback_later` around every
+test, so a hung concurrency test dumps every thread's stack and aborts
+the run instead of wedging it silently.
+"""
+
+import faulthandler
+import importlib.util
+import os
+import sys
+import threading
 
 import numpy as np
 import pytest
 
 from repro import LimaConfig, LimaSession
+
+_HAVE_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
+
+
+def pytest_addoption(parser):
+    if not _HAVE_PYTEST_TIMEOUT:
+        # pytest-timeout registers this ini option itself; declare it in
+        # its absence so `timeout = ...` in pyproject.toml stays valid
+        parser.addini("timeout", "per-test timeout in seconds "
+                                 "(faulthandler fallback)", default="0")
+
+
+def _timeout_for(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    try:
+        return float(item.config.getini("timeout") or 0)
+    except (TypeError, ValueError):
+        return 0.0
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_protocol(item, nextitem):
+    if _HAVE_PYTEST_TIMEOUT:
+        yield  # the real plugin owns timeouts
+        return
+    timeout = _timeout_for(item)
+    if timeout <= 0:
+        yield
+        return
+    capman = item.config.pluginmanager.getplugin("capturemanager")
+
+    def on_timeout():
+        # lift pytest's fd capture so the dump reaches the terminal
+        # (the hard exit below skips the teardown that would replay it)
+        if capman is not None:
+            try:
+                capman.suspend_global_capture(in_=True)
+            except Exception:
+                pass
+        sys.stderr.write(
+            f"\n+++ {item.nodeid} hung: no result after {timeout:g}s, "
+            "dumping all thread stacks and aborting the run +++\n")
+        faulthandler.dump_traceback(file=sys.stderr)
+        sys.stderr.flush()
+        os._exit(1)
+
+    timer = threading.Timer(timeout, on_timeout)
+    timer.daemon = True
+    timer.start()
+    try:
+        yield
+    finally:
+        timer.cancel()
 
 
 @pytest.fixture

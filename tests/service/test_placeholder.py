@@ -1,0 +1,139 @@
+"""Placeholder-orphan regression: a dead producer must never strand
+waiters.
+
+Historically a producer that died between ``acquire`` (reserving a
+placeholder) and ``fulfill`` left the placeholder dangling, and every
+concurrent session probing the same lineage parked on its event for the
+full wait timeout.  The fix is two-sided: the producer path aborts its
+reservation on *any* exception (``cache.abort`` poisons the event), and
+``wait_for`` treats a woken-but-unfulfilled placeholder as a miss — the
+waiter recomputes instead of hanging (counted as a placeholder rescue).
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig
+from repro.data.values import MatrixValue
+from repro.errors import WorkerCrashError
+from repro.lineage.item import LineageItem
+from repro.reuse.cache import LineageCache
+from repro.service.service import Service
+
+#: both sessions call the same function on the same input, so the second
+#: session parks on the first session's function-level placeholder
+CONTENDED = """
+heavy = function(A) return (s) {
+  B = t(A) %*% A;
+  C = B %*% B;
+  s = sum(C);
+}
+v = heavy(X);
+print(v);
+"""
+
+
+class TestCacheAbortWakesWaiters:
+    def _item(self):
+        return LineageItem("op", (LineageItem("input", (), "x:abc"),),
+                           "matmul")
+
+    def test_abort_releases_waiter_promptly(self):
+        cache = LineageCache(LimaConfig.hybrid())
+        item = self._item()
+        status, _ = cache.acquire(item)
+        assert status == "reserved"
+
+        outcome = {}
+
+        def waiter():
+            w_status, w_entry = cache.acquire(item)
+            assert w_status == "wait"
+            start = time.perf_counter()
+            outcome["value"] = cache.wait_for(w_entry, timeout=30.0)
+            outcome["elapsed"] = time.perf_counter() - start
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)  # let the waiter park on the event
+        cache.abort(item)  # producer dies
+        thread.join(timeout=10)
+        assert not thread.is_alive(), "waiter hung on an aborted placeholder"
+        assert outcome["value"] is None  # miss -> the waiter recomputes
+        assert outcome["elapsed"] < 5.0
+        assert cache.stats.placeholder_rescues >= 1
+        assert not cache.open_placeholders()
+
+    def test_fulfill_failure_drops_reservation(self):
+        class ExplodingMatrix(MatrixValue):
+            def nbytes(self):
+                raise RuntimeError("boom")
+
+        cache = LineageCache(LimaConfig.hybrid())
+        item = self._item()
+        assert cache.acquire(item)[0] == "reserved"
+        with pytest.raises(RuntimeError, match="boom"):
+            cache.fulfill(item, ExplodingMatrix(np.ones((2, 2))),
+                          item, 0.01)
+        assert not cache.open_placeholders()
+        # and the slot is usable again afterwards
+        assert cache.acquire(item)[0] == "reserved"
+        cache.abort(item)
+
+
+class TestProducerCrashUnderConcurrentProbers:
+    def test_injected_crash_never_strands_the_other_session(self, rng):
+        """Two sessions race on one function-level placeholder while an
+        injected ``exec.instruction`` crash kills whichever session is
+        producing.  The survivor must finish with the correct value and
+        the cache must end with zero open placeholders — for *every*
+        crash position, hence the sweep over fault seeds."""
+        X = rng.standard_normal((30, 10))
+        expected = None
+        for seed in range(6):
+            config = LimaConfig.hybrid().with_(fault_specs=(
+                f"exec.instruction:crash:rate=0.15,seed={seed},times=1",))
+            svc = Service(config, workers=2, seed=7)
+            try:
+                handles = [svc.submit(CONTENDED, {"X": X})
+                           for _ in range(2)]
+                survivors, crashes = [], 0
+                for handle in handles:
+                    assert handle.wait(timeout=60), \
+                        f"session hung (fault seed {seed})"
+                    if handle.error is not None:
+                        assert isinstance(handle.error, WorkerCrashError)
+                        crashes += 1
+                    else:
+                        survivors.append(handle.result().get("v"))
+                assert crashes <= 1  # times=1: at most one victim
+                for value in survivors:
+                    if expected is None:
+                        expected = value
+                    assert value == expected
+                assert not svc.cache.open_placeholders(), \
+                    f"orphaned placeholder (fault seed {seed})"
+            finally:
+                svc.shutdown(drain=False, timeout=10)
+
+    def test_crashed_producer_waiters_recompute(self, rng):
+        """Force the scenario deterministically at the cache layer inside
+        a live service: kill the producer *while* a prober waits."""
+        X = rng.standard_normal((30, 10))
+        svc = Service(LimaConfig.hybrid(), workers=2, seed=7)
+        try:
+            # repeated two-prober contention on a cold-then-warm cache:
+            # every round one session produces (or both hit) and the
+            # other must resolve via the placeholder protocol
+            for _ in range(3):
+                handles = [svc.submit(CONTENDED, {"X": X})
+                           for _ in range(2)]
+                values = {h.result(60).get("v") for h in handles}
+                assert len(values) == 1
+            assert not svc.cache.open_placeholders()
+            assert svc.cache.stats.cross_session_hits > 0
+        finally:
+            svc.shutdown(drain=False, timeout=10)

@@ -1,0 +1,174 @@
+"""Concurrency stress: many sessions, one cache, fault chaos.
+
+The acceptance bar for the service (marked ``slow``; CI runs it in the
+dedicated stress job):
+
+* 8 concurrent sessions under 20% spill-read corruption chaos produce
+  **bit-identical** results to a sequential no-reuse reference run;
+* no waiter ever hangs (every handle completes inside the test budget);
+* zero leaked placeholders once the sessions drain;
+* the shared memory manager returns to its baseline after the cache is
+  cleared and the session contexts are dropped — nothing leaks across
+  sessions.
+"""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro import LimaConfig, LimaSession
+from repro.errors import SessionAborted
+from repro.service.service import Service
+
+pytestmark = [pytest.mark.slow, pytest.mark.chaos,
+              pytest.mark.timeout(300)]
+
+SEED = 7
+
+#: four distinct workloads; submitted twice each = 8 concurrent sessions.
+#: They share subexpressions (t(X) %*% X) across scripts, so the chaos
+#: run also exercises cross-session reuse, and include loops and
+#: functions so block- and function-level placeholders see contention.
+SCRIPTS = [
+    """
+    S = t(X) %*% X;
+    acc = 0.0;
+    for (i in 1:5) { acc = acc + sum(S * i); }
+    print(acc);
+    out = acc;
+    """,
+    """
+    S = t(X) %*% X;
+    G = S %*% S;
+    out = sum(G) + sum(S);
+    print(out);
+    """,
+    """
+    step = function(A, k) return (s) {
+      B = A * k;
+      s = sum(t(B) %*% B);
+    }
+    out = step(X, 2.0) + step(X, 3.0) + step(X, 2.0);
+    print(out);
+    """,
+    """
+    v = 0.0;
+    i = 1.0;
+    while (i < 6.0) {
+      v = v + sum(X * i);
+      i = i + 1.0;
+    }
+    out = v;
+    print(out);
+    """,
+]
+
+
+def _chaos_config():
+    # full (not hybrid): no partial-reuse compensation, so the
+    # comparison against the sequential reference can be exact; the
+    # tight budget forces spills, which the chaos then corrupts
+    return LimaConfig.full().with_(
+        memory_budget=96 * 1024,
+        fault_specs=("spill.read:corrupt:rate=0.2,seed=11",))
+
+
+@pytest.fixture(scope="module")
+def X():
+    return np.random.default_rng(2024).standard_normal((48, 16))
+
+
+@pytest.fixture(scope="module")
+def sequential_reference(X):
+    """Per-script outputs from clean, isolated, no-reuse runs."""
+    reference = []
+    for script in SCRIPTS:
+        session = LimaSession(LimaConfig.base(), seed=SEED)
+        result = session.run(script, inputs={"X": X}, seed=SEED)
+        reference.append((result.get("out"), list(result.stdout)))
+    return reference
+
+
+def test_eight_sessions_under_chaos_match_sequential(
+        X, sequential_reference):
+    svc = Service(_chaos_config(), workers=8, seed=SEED)
+    try:
+        handles = [(idx, svc.submit(script, {"X": X}, seed=SEED))
+                   for _ in range(2)
+                   for idx, script in enumerate(SCRIPTS)]
+        for idx, handle in handles:
+            assert handle.wait(timeout=120), \
+                f"session {handle.session_id} hung (script {idx})"
+            result = handle.result()
+            expected_out, expected_stdout = sequential_reference[idx]
+            got = result.get("out")
+            assert np.asarray(got).tobytes() == \
+                np.asarray(expected_out).tobytes(), \
+                f"script {idx}: {got!r} != sequential {expected_out!r}"
+            assert result.stdout == expected_stdout
+        stats = svc.service_stats()
+        assert stats.completed == len(handles)
+        assert stats.cross_session_hits > 0
+        assert not svc.cache.open_placeholders()
+
+        # memory back to baseline: drop every session's context, clear
+        # the shared cache, and the unified ledger must read (near) zero
+        memory = svc.memory
+        handles = None
+        svc._sessions.clear()
+        svc.cache.clear()
+        gc.collect()
+        assert memory.total == 0, \
+            f"{memory.total} bytes still charged after drain"
+        assert not memory.degraded
+    finally:
+        svc.shutdown(drain=False, timeout=30)
+
+
+def test_deadline_chaos_mix_never_hangs(X):
+    """Doomed sessions (tiny deadlines, unbounded loops) interleaved
+    with healthy ones under chaos: everything terminates, bystanders
+    stay correct, nothing leaks."""
+    svc = Service(_chaos_config(), workers=8, seed=SEED)
+    doomed_script = "i = 1.0;\nwhile (i > 0.0) { i = i + 1.0; }\n"
+    try:
+        healthy = [svc.submit(SCRIPTS[1], {"X": X}, seed=SEED)
+                   for _ in range(4)]
+        doomed = [svc.submit(doomed_script, deadline=0.1)
+                  for _ in range(4)]
+        values = set()
+        for handle in healthy:
+            assert handle.wait(timeout=120)
+            values.add(float(handle.result().get("out")))
+        assert len(values) == 1
+        for handle in doomed:
+            assert handle.wait(timeout=60), "doomed session hung"
+            assert isinstance(handle.error, SessionAborted)
+        assert svc.service_stats().deadline_hits == 4
+        assert not svc.cache.open_placeholders()
+    finally:
+        svc.shutdown(drain=False, timeout=30)
+
+
+def test_sustained_submission_with_cancellation_storm(X):
+    """Admission, cancellation, and completion racing for many rounds;
+    the service must stay consistent (counters add up, no leaks)."""
+    svc = Service(LimaConfig.hybrid(), workers=6, queue_size=16,
+                  seed=SEED)
+    try:
+        handles = []
+        for round_no in range(6):
+            for idx, script in enumerate(SCRIPTS):
+                handles.append(svc.submit(script, {"X": X}, seed=SEED))
+            # cancel a random-ish victim mid-flight each round
+            victim = handles[round_no * len(SCRIPTS)]
+            svc.cancel(victim.session_id, "storm")
+        for handle in handles:
+            assert handle.wait(timeout=120), \
+                f"{handle.session_id} hung in the storm"
+        stats = svc.service_stats()
+        assert stats.completed + stats.failed == stats.admitted
+        assert not svc.cache.open_placeholders()
+    finally:
+        svc.shutdown(drain=False, timeout=30)
